@@ -1,0 +1,76 @@
+// Command experiments regenerates the paper's evaluation artifacts — Table 3
+// and Figures 9-24 — plus the repository's ablation studies, over the
+// synthetic stand-in datasets (DESIGN.md §4).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp fig15 -scale 0.05
+//	experiments -exp all -scale 0.02 -out results.txt
+//
+// Scale 1.0 reproduces paper-sized datasets (slow); the default 0.02 runs
+// the full suite in minutes on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"gogreen/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		scale = flag.Float64("scale", 0.02, "dataset scale factor (1.0 = paper-sized)")
+		out   = flag.String("out", "", "write results to this file as well as stdout")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	cfg := bench.Config{Scale: *scale}
+	run := func(e bench.Experiment) {
+		fmt.Fprintf(w, "=== %s: %s\n", e.ID, e.Title)
+		fmt.Fprintf(w, "    paper: %s\n", e.Paper)
+		start := time.Now()
+		if err := e.Run(cfg, w); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "    (%.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.All() {
+			run(e)
+		}
+		return
+	}
+	e := bench.ByID(*exp)
+	if e == nil {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(1)
+	}
+	run(*e)
+}

@@ -1,0 +1,214 @@
+// Command rpmine mines frequent patterns from a basket-format file with any
+// of the repository's algorithms, optionally recycling a previously saved
+// pattern set (the paper's two-phase scheme) and saving the new result for
+// the next iteration.
+//
+// A first iteration, saving its result:
+//
+//	rpmine -in data.basket -minsup 0.05 -save round1.fp
+//
+// A later iteration at a relaxed threshold, recycling round 1:
+//
+//	rpmine -in data.basket -minsup 0.02 -recycle round1.fp -algo rp-hmine
+//
+// Algorithms: apriori, hmine, fptree, treeproj, eclat (baselines);
+// rp-naive, rp-hmine, rp-fptree, rp-treeproj (recycling; need -recycle).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"gogreen/internal/apriori"
+	"gogreen/internal/core"
+	"gogreen/internal/dataset"
+	"gogreen/internal/eclat"
+	"gogreen/internal/fptree"
+	"gogreen/internal/hmine"
+	"gogreen/internal/memlimit"
+	"gogreen/internal/mining"
+	"gogreen/internal/patternio"
+	"gogreen/internal/postmine"
+	"gogreen/internal/rpfptree"
+	"gogreen/internal/rphmine"
+	"gogreen/internal/rptreeproj"
+	"gogreen/internal/treeproj"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input basket file (numeric item ids)")
+		minsup   = flag.Float64("minsup", 0.01, "minimum support (fraction <1, or absolute count >=1)")
+		algo     = flag.String("algo", "hmine", "algorithm (see doc comment)")
+		strategy = flag.String("strategy", "mcp", "compression strategy for recycling: mcp or mlp")
+		recycle  = flag.String("recycle", "", "pattern file from an earlier round to recycle")
+		save     = flag.String("save", "", "save the mined patterns to this file")
+		outPath  = flag.String("out", "", "write patterns to this file (default: summary only)")
+		memMB    = flag.Int("mem", 0, "memory budget in MB (0 = unlimited); hmine/rp-* only")
+		quiet    = flag.Bool("quiet", false, "suppress per-pattern output entirely")
+		closed   = flag.Bool("closed", false, "report only closed patterns")
+		maximal  = flag.Bool("maximal", false, "report only maximal patterns")
+		minConf  = flag.Float64("rules", 0, "derive association rules at this confidence (0 = off)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "rpmine: -in is required")
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	db, err := dataset.ReadBasketIDsFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	min := int(*minsup)
+	if *minsup < 1 {
+		min = mining.MinCount(db.Len(), *minsup)
+	}
+	st := db.Stats()
+	fmt.Fprintf(os.Stderr, "loaded %d tuples (avg len %.1f, %d items); minsup=%d tuples\n",
+		st.NumTx, st.AvgLen, st.NumItems, min)
+
+	strat, err := core.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+
+	var recycled []mining.Pattern
+	if *recycle != "" {
+		set, err := patternio.ReadFile(*recycle)
+		if err != nil {
+			fatal(err)
+		}
+		recycled = set.Patterns
+		fmt.Fprintf(os.Stderr, "recycling %d patterns from %s\n", len(recycled), *recycle)
+	}
+
+	var col mining.Collector
+	var sink mining.Sink = &col
+	var counter mining.Count
+	needPatterns := *save != "" || *outPath != "" || *closed || *maximal || *minConf > 0
+	if *quiet && !needPatterns {
+		sink = &counter
+	}
+
+	start := time.Now()
+	if err := mine(db, min, *algo, strat, recycled, int64(*memMB)<<20, sink); err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	n := len(col.Patterns)
+	if sink == &counter {
+		n = counter.N
+	}
+	fmt.Fprintf(os.Stderr, "%s found %d frequent patterns in %v\n", *algo, n, elapsed)
+
+	if *closed {
+		col.Patterns = postmine.Closed(col.Patterns)
+		fmt.Fprintf(os.Stderr, "%d closed patterns\n", len(col.Patterns))
+	}
+	if *maximal {
+		col.Patterns = postmine.Maximal(col.Patterns)
+		fmt.Fprintf(os.Stderr, "%d maximal patterns\n", len(col.Patterns))
+	}
+	if *minConf > 0 {
+		if *closed || *maximal {
+			fatal(fmt.Errorf("-rules needs the complete pattern set; drop -closed/-maximal"))
+		}
+		rules := postmine.Rules(col.Patterns, *minConf, db.Len())
+		fmt.Fprintf(os.Stderr, "%d rules at confidence >= %.2f\n", len(rules), *minConf)
+		for i, r := range rules {
+			if i == 20 {
+				fmt.Fprintf(os.Stderr, "... (%d more)\n", len(rules)-20)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "  %v => %v  conf=%.2f lift=%.2f sup=%d\n",
+				r.Antecedent, r.Consequent, r.Confidence, r.Lift, r.Support)
+		}
+	}
+
+	if *save != "" {
+		if err := patternio.WriteFile(*save, patternio.Set{Patterns: col.Patterns, MinSupport: min}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved to %s\n", *save)
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		col.Sort()
+		for _, p := range col.Patterns {
+			for i, it := range p.Items {
+				if i > 0 {
+					w.WriteByte(' ')
+				}
+				w.WriteString(strconv.Itoa(int(it)))
+			}
+			fmt.Fprintf(w, " (%d)\n", p.Support)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// mine dispatches to the selected algorithm.
+func mine(db *dataset.DB, min int, algo string, strat core.Strategy, recycled []mining.Pattern, budget int64, sink mining.Sink) error {
+	baselines := map[string]mining.Miner{
+		"apriori":  apriori.New(),
+		"hmine":    hmine.New(),
+		"fptree":   fptree.New(),
+		"treeproj": treeproj.New(),
+		"eclat":    eclat.New(),
+	}
+	engines := map[string]core.CDBMiner{
+		"rp-naive":    core.Naive{},
+		"rp-hmine":    rphmine.New(),
+		"rp-fptree":   rpfptree.New(),
+		"rp-treeproj": rptreeproj.New(),
+	}
+	if m, ok := baselines[algo]; ok {
+		if budget > 0 {
+			if algo != "hmine" {
+				return fmt.Errorf("rpmine: -mem supports only hmine among the baselines")
+			}
+			return memlimit.MineDB(db, min, memlimit.Config{Budget: budget}, sink)
+		}
+		return m.Mine(db, min, sink)
+	}
+	eng, ok := engines[algo]
+	if !ok {
+		return fmt.Errorf("rpmine: unknown algorithm %q", algo)
+	}
+	if recycled == nil {
+		fmt.Fprintln(os.Stderr, "note: no -recycle file; compressing with an empty pattern set (no grouping)")
+	}
+	cdb := core.Compress(db, recycled, strat)
+	s := cdb.Stats()
+	fmt.Fprintf(os.Stderr, "compressed: %d groups covering %d tuples, ratio %.3f\n",
+		s.NumGroups, s.Grouped, s.Ratio)
+	if budget > 0 {
+		engName := "rp-hmine"
+		if algo == "rp-naive" {
+			engName = "rp-naive"
+		}
+		return memlimit.MineCDB(cdb, min, memlimit.Config{Budget: budget, Engine: engName}, sink)
+	}
+	return eng.MineCDB(cdb, min, sink)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rpmine:", err)
+	os.Exit(1)
+}

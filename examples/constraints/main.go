@@ -1,0 +1,85 @@
+// Constrained mining with constraint changes: the paper's setting is not
+// just support thresholds — users combine anti-monotone, monotone, succinct
+// and convertible constraints and adjust them between rounds. This example
+// mines a product-basket-like database under a price-sum constraint and a
+// length constraint, then relaxes and tightens different conjuncts; the
+// session picks filter vs recycle per round.
+//
+//	go run ./examples/constraints
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gogreen/internal/constraints"
+	"gogreen/internal/gen"
+	"gogreen/internal/mining"
+	"gogreen/internal/rphmine"
+	"gogreen/internal/session"
+)
+
+func main() {
+	db := gen.Weather(0.01)
+	fmt.Printf("database: %d transactions\n", db.Len())
+
+	// Synthetic per-item prices: item id modulo a few bands.
+	maxItem := int(db.MaxItem()) + 1
+	prices := make([]float64, maxItem)
+	for i := range prices {
+		prices[i] = float64(i%17)/2 + 0.5
+	}
+
+	s := session.New(db, session.WithEngine(rphmine.New()))
+	min := func(frac float64) constraints.MinSupport {
+		return constraints.MinSupport{Count: mining.MinCount(db.Len(), frac)}
+	}
+
+	rounds := []struct {
+		label string
+		cs    constraints.Set
+	}{
+		{
+			"baseline query: ξ=3%, total price ≤ 25",
+			constraints.Set{min(0.03), constraints.SumLeq{Values: prices, Bound: 25}},
+		},
+		{
+			"tighten: also require length ≤ 4",
+			constraints.Set{min(0.03), constraints.SumLeq{Values: prices, Bound: 25}, constraints.MaxLength{N: 4}},
+		},
+		{
+			"relax support to 1.5%, keep the rest",
+			constraints.Set{min(0.015), constraints.SumLeq{Values: prices, Bound: 25}, constraints.MaxLength{N: 4}},
+		},
+		{
+			"switch to a monotone price floor (avg price ≥ 2, convertible)",
+			constraints.Set{min(0.015), constraints.AvgGeq{Values: prices, Bound: 2}},
+		},
+	}
+
+	for i, r := range rounds {
+		res, err := s.Mine(r.cs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("round %d (%s):\n", i+1, r.label)
+		fmt.Printf("  %s → %d patterns, %v, source=%s\n",
+			constraints.Describe(r.cs), len(res.Patterns),
+			res.Elapsed.Round(1000), res.Source)
+		// Show a few example patterns with their aggregate price.
+		shown := 0
+		for _, p := range res.Patterns {
+			if len(p.Items) < 2 {
+				continue
+			}
+			sum := 0.0
+			for _, it := range p.Items {
+				sum += prices[it]
+			}
+			fmt.Printf("    e.g. %v  support=%d  Σprice=%.1f\n", p.Items, p.Support, sum)
+			if shown++; shown == 2 {
+				break
+			}
+		}
+	}
+}

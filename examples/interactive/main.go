@@ -1,0 +1,49 @@
+// Interactive refinement: the session layer drives the paper's motivating
+// scenario — a user repeatedly adjusts the minimum support, and each round
+// automatically reuses earlier rounds (filtering when the constraint
+// tightens, compressing + recycling when it relaxes).
+//
+//	go run ./examples/interactive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gogreen/internal/constraints"
+	"gogreen/internal/gen"
+	"gogreen/internal/mining"
+	"gogreen/internal/rphmine"
+	"gogreen/internal/session"
+)
+
+func main() {
+	db := gen.Connect4(0.05)
+	fmt.Printf("database: %d dense transactions of %d items each\n",
+		db.Len(), len(db.Tx(0)))
+
+	s := session.New(db, session.WithEngine(rphmine.New()))
+
+	// The user starts conservative, then relaxes twice, then decides the
+	// middle setting was right after all.
+	script := []float64{0.95, 0.935, 0.92, 0.94}
+	for i, xi := range script {
+		cs := constraints.Set{constraints.MinSupport{Count: mining.MinCount(db.Len(), xi)}}
+		res, err := s.Mine(cs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src := string(res.Source)
+		if res.BasedOn >= 0 {
+			src = fmt.Sprintf("%s from round %d", res.Source, res.BasedOn+1)
+		}
+		fmt.Printf("round %d: ξ=%.3f → %6d patterns in %8v  (%s)\n",
+			i+1, xi, len(res.Patterns), res.Elapsed.Round(1000), src)
+	}
+
+	fmt.Println("\nhistory:")
+	for i, r := range s.Rounds() {
+		fmt.Printf("  %d. %-14s %6d patterns, %v\n",
+			i+1, constraints.Describe(r.Constraints), len(r.Result.Patterns), r.Result.Source)
+	}
+}

@@ -1,0 +1,3 @@
+module gogreen
+
+go 1.22

@@ -1,0 +1,203 @@
+// Package gogreen is the public surface of the Go Green frequent-pattern
+// recycling library — a from-scratch implementation of "Go Green: Recycle
+// and Reuse Frequent Patterns" (Cong, Ooi, Tan, Tung; ICDE 2004).
+//
+// The library mines frequent patterns with classical algorithms (Apriori,
+// H-Mine, FP-growth, Tree Projection, Eclat) and, between iterations of an
+// interactive session, recycles previously discovered patterns: the database
+// is compressed using the old patterns (groups share one stored pattern and
+// a count) and subsequent mining runs over the compressed form, typically an
+// order of magnitude faster on re-mining workloads.
+//
+// Most applications need only this package:
+//
+//	db, _ := gogreen.ReadBasketIDsFile("data.basket")
+//	round1, _ := gogreen.Mine(db, gogreen.HMine, gogreen.MinCount(db.Len(), 0.05))
+//	round2, _ := gogreen.MineRecycling(db, round1, gogreen.MCP,
+//		gogreen.RecycleHMine, gogreen.MinCount(db.Len(), 0.01))
+//
+// The sub-systems (constraint framework, memory-limited mining, pattern
+// persistence, interactive sessions, synthetic dataset generators) are
+// exposed through the same module; see README.md for the map.
+package gogreen
+
+import (
+	"fmt"
+
+	"gogreen/internal/apriori"
+	"gogreen/internal/core"
+	"gogreen/internal/dataset"
+	"gogreen/internal/eclat"
+	"gogreen/internal/fptree"
+	"gogreen/internal/hmine"
+	"gogreen/internal/mining"
+	"gogreen/internal/postmine"
+	"gogreen/internal/rpfptree"
+	"gogreen/internal/rphmine"
+	"gogreen/internal/rptreeproj"
+	"gogreen/internal/treeproj"
+)
+
+// Core data types.
+type (
+	// Item is a dictionary-encoded item identifier.
+	Item = dataset.Item
+	// DB is an immutable horizontal transaction database.
+	DB = dataset.DB
+	// Pattern is a frequent itemset with its support.
+	Pattern = mining.Pattern
+	// PatternSet indexes patterns by canonical key.
+	PatternSet = mining.PatternSet
+	// Sink consumes mined patterns as a stream.
+	Sink = mining.Sink
+	// Collector is a Sink that accumulates patterns.
+	Collector = mining.Collector
+	// CDB is a pattern-compressed database (phase one of recycling).
+	CDB = core.CDB
+	// Strategy selects the compression utility function.
+	Strategy = core.Strategy
+	// Miner is a frequent-pattern mining algorithm.
+	Miner = mining.Miner
+	// CDBMiner mines compressed databases.
+	CDBMiner = core.CDBMiner
+)
+
+// Compression strategies (Section 3.2 of the paper).
+const (
+	// MCP is the Minimize Cost Principle — the paper's preferred strategy.
+	MCP = core.MCP
+	// MLP is the Maximal Length Principle.
+	MLP = core.MLP
+)
+
+// Algorithm names a mining algorithm for Mine and MineRecycling.
+type Algorithm string
+
+// Baseline (non-recycling) algorithms.
+const (
+	Apriori  Algorithm = "apriori"
+	HMine    Algorithm = "hmine"
+	FPGrowth Algorithm = "fptree"
+	TreeProj Algorithm = "treeproj"
+	Eclat    Algorithm = "eclat"
+)
+
+// Recycling engines (adapted to compressed databases).
+const (
+	RecycleNaive    Algorithm = "rp-naive"
+	RecycleHMine    Algorithm = "rp-hmine"
+	RecycleFPGrowth Algorithm = "rp-fptree"
+	RecycleTreeProj Algorithm = "rp-treeproj"
+)
+
+// NewMiner returns the named baseline miner, or an error for unknown or
+// recycling-only names.
+func NewMiner(a Algorithm) (Miner, error) {
+	switch a {
+	case Apriori:
+		return apriori.New(), nil
+	case HMine:
+		return hmine.New(), nil
+	case FPGrowth:
+		return fptree.New(), nil
+	case TreeProj:
+		return treeproj.New(), nil
+	case Eclat:
+		return eclat.New(), nil
+	}
+	return nil, fmt.Errorf("gogreen: unknown baseline algorithm %q", a)
+}
+
+// NewEngine returns the named compressed-database miner.
+func NewEngine(a Algorithm) (CDBMiner, error) {
+	switch a {
+	case RecycleNaive:
+		return core.Naive{}, nil
+	case RecycleHMine:
+		return rphmine.New(), nil
+	case RecycleFPGrowth:
+		return rpfptree.New(), nil
+	case RecycleTreeProj:
+		return rptreeproj.New(), nil
+	}
+	return nil, fmt.Errorf("gogreen: unknown recycling engine %q", a)
+}
+
+// Algorithms lists every algorithm name, baselines first.
+func Algorithms() []Algorithm {
+	return []Algorithm{Apriori, HMine, FPGrowth, TreeProj, Eclat,
+		RecycleNaive, RecycleHMine, RecycleFPGrowth, RecycleTreeProj}
+}
+
+// MinCount converts a relative minimum support (fraction of |DB|) into an
+// absolute tuple count (>= 1).
+func MinCount(numTx int, frac float64) int { return mining.MinCount(numTx, frac) }
+
+// Mine runs a baseline algorithm and returns the collected patterns.
+func Mine(db *DB, algo Algorithm, minCount int) ([]Pattern, error) {
+	m, err := NewMiner(algo)
+	if err != nil {
+		return nil, err
+	}
+	var c Collector
+	if err := m.Mine(db, minCount, &c); err != nil {
+		return nil, err
+	}
+	return c.Patterns, nil
+}
+
+// Compress runs phase one of recycling: cover db's tuples with the
+// highest-utility recycled patterns.
+func Compress(db *DB, recycled []Pattern, strat Strategy) *CDB {
+	return core.Compress(db, recycled, strat)
+}
+
+// MineRecycling runs the full two-phase scheme: compress db with the
+// recycled patterns, then mine the compressed database at minCount.
+func MineRecycling(db *DB, recycled []Pattern, strat Strategy, engine Algorithm, minCount int) ([]Pattern, error) {
+	eng, err := NewEngine(engine)
+	if err != nil {
+		return nil, err
+	}
+	var c Collector
+	rec := &core.Recycler{FP: recycled, Strategy: strat, Engine: eng}
+	if err := rec.Mine(db, minCount, &c); err != nil {
+		return nil, err
+	}
+	return c.Patterns, nil
+}
+
+// FilterTightened implements the cheap direction of iteration: when the
+// minimum support is raised, the new result is a filter of the old.
+func FilterTightened(fp []Pattern, minCount int) []Pattern {
+	return core.FilterTightened(fp, minCount)
+}
+
+// Pattern post-processing re-exports (internal/postmine).
+var (
+	// Closed keeps only patterns with no equal-support superset; recycling
+	// covers built from the closed set are provably identical to covers
+	// built from the full set.
+	Closed = postmine.Closed
+	// Maximal keeps only patterns with no frequent superset.
+	Maximal = postmine.Maximal
+	// DeriveRules generates association rules above a confidence threshold.
+	DeriveRules = postmine.Rules
+)
+
+// Rule is an association rule with support, confidence and lift.
+type Rule = postmine.Rule
+
+// Database construction and IO re-exports.
+var (
+	// NewDB builds a database from raw transactions.
+	NewDB = dataset.New
+	// FromNames builds a database from named-item transactions.
+	FromNames = dataset.FromNames
+	// ReadBasketFile reads a named-token basket file.
+	ReadBasketFile = dataset.ReadBasketFile
+	// ReadBasketIDsFile reads a numeric-id basket file.
+	ReadBasketIDsFile = dataset.ReadBasketIDsFile
+	// WriteBasketFile writes a database in basket format.
+	WriteBasketFile = dataset.WriteBasketFile
+)

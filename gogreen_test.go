@@ -1,0 +1,104 @@
+package gogreen
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gogreen/internal/testutil"
+)
+
+func TestFacadeRoundTrip(t *testing.T) {
+	db := testutil.PaperDB()
+
+	round1, err := Mine(db, HMine, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(round1) != 11 { // complete set incl. the paper's omitted fc:3
+		t.Fatalf("round 1: %d patterns, want 11", len(round1))
+	}
+
+	for _, engine := range []Algorithm{RecycleNaive, RecycleHMine, RecycleFPGrowth, RecycleTreeProj} {
+		round2, err := MineRecycling(db, round1, MCP, engine, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		direct, err := Mine(db, Apriori, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(round2) != len(direct) {
+			t.Fatalf("%s: recycled %d patterns, direct %d", engine, len(round2), len(direct))
+		}
+	}
+
+	filtered := FilterTightened(round1, 4)
+	direct4, _ := Mine(db, HMine, 4)
+	if len(filtered) != len(direct4) {
+		t.Fatalf("filter: %d vs %d", len(filtered), len(direct4))
+	}
+}
+
+func TestFacadeAllAlgorithms(t *testing.T) {
+	db := testutil.PaperDB()
+	want, _ := Mine(db, Apriori, 2)
+	for _, a := range Algorithms() {
+		var got []Pattern
+		var err error
+		if _, e := NewMiner(a); e == nil {
+			got, err = Mine(db, a, 2)
+		} else {
+			got, err = MineRecycling(db, nil, MCP, a, 2)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s: %d patterns, want %d", a, len(got), len(want))
+		}
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	if _, err := NewMiner("bogus"); err == nil {
+		t.Error("NewMiner should reject unknown names")
+	}
+	if _, err := NewMiner(RecycleHMine); err == nil {
+		t.Error("NewMiner should reject engine names")
+	}
+	if _, err := NewEngine("bogus"); err == nil {
+		t.Error("NewEngine should reject unknown names")
+	}
+	if _, err := NewEngine(HMine); err == nil {
+		t.Error("NewEngine should reject baseline names")
+	}
+	db := testutil.PaperDB()
+	if _, err := Mine(db, "bogus", 2); err == nil {
+		t.Error("Mine should propagate algorithm errors")
+	}
+	if _, err := MineRecycling(db, nil, MCP, "bogus", 2); err == nil {
+		t.Error("MineRecycling should propagate engine errors")
+	}
+}
+
+func TestFacadeIO(t *testing.T) {
+	db := NewDB([][]Item{{1, 2}, {2, 3}})
+	path := filepath.Join(t.TempDir(), "db.basket")
+	if err := WriteBasketFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBasketIDsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round trip lost tuples")
+	}
+	if MinCount(back.Len(), 0.6) != 2 {
+		t.Error("MinCount")
+	}
+	cdb := Compress(db, nil, MLP)
+	if cdb.NumTx != 2 {
+		t.Error("Compress facade")
+	}
+}

@@ -1,0 +1,151 @@
+// Package apriori implements the classic Apriori algorithm (Agrawal &
+// Srikant, VLDB'94 — reference [5] of the paper). It is the slowest miner in
+// this repository but also the simplest, so it doubles as the correctness
+// oracle for every other algorithm in the test suite.
+package apriori
+
+import (
+	"sort"
+
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+)
+
+// Miner is the Apriori frequent-pattern miner.
+type Miner struct{}
+
+// New returns an Apriori miner.
+func New() *Miner { return &Miner{} }
+
+// Name implements mining.Miner.
+func (*Miner) Name() string { return "apriori" }
+
+// Mine implements mining.Miner with level-wise candidate generation.
+func (*Miner) Mine(db *dataset.DB, minCount int, sink mining.Sink) error {
+	if minCount < 1 {
+		return mining.ErrBadMinSupport
+	}
+	flist := mining.BuildFList(db, minCount)
+	if flist.Len() == 0 {
+		return nil
+	}
+	// Work in rank space so that candidate items are dense. Transactions
+	// keep only frequent items; rank order within a transaction is
+	// ascending, which the join below relies on.
+	tx := flist.EncodeDB(db)
+
+	// Level 1: frequent items straight from the F-list.
+	scratch := make([]dataset.Item, 0, 32)
+	level := make([][]dataset.Item, 0, flist.Len())
+	for r := 0; r < flist.Len(); r++ {
+		scratch = append(scratch[:0], dataset.Item(r))
+		sink.Emit(flist.DecodeInto(make([]dataset.Item, 1), scratch), flist.Support[r])
+		level = append(level, []dataset.Item{dataset.Item(r)})
+	}
+
+	for k := 2; len(level) > 0; k++ {
+		cands := generate(level)
+		if len(cands) == 0 {
+			return nil
+		}
+		counts := countCandidates(tx, cands, k)
+		next := level[:0:0]
+		for i, c := range cands {
+			if counts[i] >= minCount {
+				out := make([]dataset.Item, len(c))
+				sink.Emit(flist.DecodeInto(out, c), counts[i])
+				next = append(next, c)
+			}
+		}
+		level = next
+	}
+	return nil
+}
+
+// generate joins frequent k-itemsets sharing a (k-1)-prefix into (k+1)
+// candidates and prunes those with an infrequent k-subset. level must be in
+// lexicographic order, which generate preserves.
+func generate(level [][]dataset.Item) [][]dataset.Item {
+	k := len(level[0])
+	have := make(map[string]struct{}, len(level))
+	for _, s := range level {
+		have[mining.Key(s)] = struct{}{}
+	}
+	var out [][]dataset.Item
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			if !samePrefix(a, b, k-1) {
+				break // level is sorted; later j cannot share the prefix
+			}
+			c := make([]dataset.Item, k+1)
+			copy(c, a)
+			c[k] = b[k-1]
+			if c[k] < c[k-1] {
+				c[k-1], c[k] = c[k], c[k-1]
+			}
+			if prunable(c, have) {
+				continue
+			}
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return lexLess(out[i], out[j]) })
+	return out
+}
+
+// prunable reports whether candidate c has any k-subset missing from have.
+func prunable(c []dataset.Item, have map[string]struct{}) bool {
+	sub := make([]dataset.Item, 0, len(c)-1)
+	for drop := range c {
+		sub = sub[:0]
+		for i, it := range c {
+			if i != drop {
+				sub = append(sub, it)
+			}
+		}
+		if _, ok := have[mining.Key(sub)]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// countCandidates counts candidate occurrences with one database scan per
+// level, using a prefix-sorted candidate list and per-transaction subset
+// checks.
+func countCandidates(tx [][]dataset.Item, cands [][]dataset.Item, k int) []int {
+	counts := make([]int, len(cands))
+	for _, t := range tx {
+		if len(t) < k {
+			continue
+		}
+		for i, c := range cands {
+			if dataset.Contains(t, c) {
+				counts[i]++
+			}
+		}
+	}
+	return counts
+}
+
+func samePrefix(a, b []dataset.Item, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func lexLess(a, b []dataset.Item) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,157 @@
+package apriori_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"gogreen/internal/apriori"
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+	"gogreen/internal/testutil"
+)
+
+// TestPaperExample checks the complete frequent-pattern set of the paper's
+// Table 1 database at ξ_old = 3 (Example 1). Note: the paper's listing of
+// FP omits fc:3, but fc is frequent (tuples 100, 200, 300) and is implied by
+// the listed fgc:3 — the omission is a typo in the paper; the complete set
+// below includes it.
+func TestPaperExample(t *testing.T) {
+	db := testutil.PaperDB()
+	got := testutil.MineSet(t, apriori.New(), db, 3)
+
+	want := mining.PatternSet{}
+	add := func(sup int, names ...string) {
+		items := testutil.Items(t, db, names...)
+		want[mining.Key(items)] = mining.Pattern{Items: items, Support: sup}
+	}
+	add(3, "f")
+	add(3, "f", "g")
+	add(3, "f", "c")
+	add(3, "f", "g", "c")
+	add(3, "g")
+	add(3, "g", "c")
+	add(3, "a")
+	add(3, "a", "e")
+	add(4, "e")
+	add(3, "e", "c")
+	add(4, "c")
+
+	if !got.Equal(want) {
+		t.Fatalf("paper example mismatch:\n%v", got.Diff(want, 20))
+	}
+}
+
+// TestPaperExampleXiNew2 checks the F-list and a few supports at ξ_new = 2,
+// matching Section 3.1's worked values.
+func TestPaperExampleXiNew2(t *testing.T) {
+	db := testutil.PaperDB()
+	flist := mining.BuildFList(db, 2)
+	// Paper: <d:2, f:3, g:3, a:3, e:4, c:4>. Tie-breaking among equal
+	// supports is implementation-defined (the paper's order differs from
+	// ours), so check the support sequence and the item->support mapping
+	// rather than exact positions.
+	wantSupports := map[string]int{"d": 2, "f": 3, "g": 3, "a": 3, "e": 4, "c": 4}
+	if flist.Len() != len(wantSupports) {
+		t.Fatalf("F-list length = %d, want %d", flist.Len(), len(wantSupports))
+	}
+	for i := 1; i < flist.Len(); i++ {
+		if flist.Support[i] < flist.Support[i-1] {
+			t.Errorf("F-list not support-ascending at %d: %v", i, flist.Support)
+		}
+	}
+	for i, it := range flist.Items {
+		name := db.Dict().Name(it)
+		if want, ok := wantSupports[name]; !ok || flist.Support[i] != want {
+			t.Errorf("F-list[%d] = %q sup %d, want sup %d", i, name, flist.Support[i], wantSupports[name])
+		}
+	}
+
+	got := testutil.MineSet(t, apriori.New(), db, 2)
+	// Spot-check supports from Example 3.
+	checks := []struct {
+		names []string
+		sup   int
+	}{
+		{[]string{"d", "c"}, 2},
+		{[]string{"d", "f", "g", "c"}, 2},
+		{[]string{"f", "g"}, 3},
+		{[]string{"f", "g", "e"}, 2},
+		{[]string{"f", "g", "e", "c"}, 2},
+		{[]string{"a", "e"}, 3},
+		{[]string{"a", "e", "c"}, 2},
+	}
+	for _, c := range checks {
+		items := testutil.Items(t, db, c.names...)
+		p, ok := got[mining.Key(items)]
+		if !ok {
+			t.Errorf("missing pattern %v", c.names)
+			continue
+		}
+		if p.Support != c.sup {
+			t.Errorf("pattern %v support = %d, want %d", c.names, p.Support, c.sup)
+		}
+	}
+}
+
+// TestAgainstBruteForce validates Apriori itself (the oracle for all other
+// miners) against exhaustive subset enumeration.
+func TestAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for rep := 0; rep < 20; rep++ {
+		db := testutil.RandomDB(r, 5+r.Intn(40), 3+r.Intn(12), 1+r.Intn(8))
+		for _, min := range []int{1, 2, 3, 5} {
+			got := testutil.MineSet(t, apriori.New(), db, min)
+			want := testutil.BruteForce(t, db, min)
+			if !got.Equal(want) {
+				t.Fatalf("apriori vs brute force (min=%d, db=%s):\n%v",
+					min, db, got.Diff(want, 12))
+			}
+		}
+	}
+}
+
+func TestEmptyAndEdgeCases(t *testing.T) {
+	m := apriori.New()
+
+	if err := m.Mine(dataset.New(nil), 0, mining.SinkFunc(func([]dataset.Item, int) {})); err != mining.ErrBadMinSupport {
+		t.Errorf("minCount=0: got %v, want ErrBadMinSupport", err)
+	}
+
+	var c mining.Collector
+	if err := m.Mine(dataset.New(nil), 1, &c); err != nil {
+		t.Fatalf("empty db: %v", err)
+	}
+	if len(c.Patterns) != 0 {
+		t.Errorf("empty db yielded %d patterns", len(c.Patterns))
+	}
+
+	// Threshold above every support: nothing is frequent.
+	db := testutil.PaperDB()
+	c = mining.Collector{}
+	if err := m.Mine(db, 6, &c); err != nil {
+		t.Fatalf("high threshold: %v", err)
+	}
+	if len(c.Patterns) != 0 {
+		t.Errorf("threshold 6 yielded %d patterns, want 0", len(c.Patterns))
+	}
+
+	// Single transaction, minCount 1: the full subset lattice.
+	db = dataset.New([][]dataset.Item{{1, 2, 3}})
+	c = mining.Collector{}
+	if err := m.Mine(db, 1, &c); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Patterns) != 7 {
+		t.Errorf("single tuple lattice: got %d patterns, want 7", len(c.Patterns))
+	}
+
+	// Duplicate items within an input transaction collapse.
+	db = dataset.New([][]dataset.Item{{2, 2, 2}, {2, 2}})
+	c = mining.Collector{}
+	if err := m.Mine(db, 2, &c); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Patterns) != 1 || c.Patterns[0].Support != 2 {
+		t.Errorf("duplicate collapse: got %v", c.Patterns)
+	}
+}

@@ -1,0 +1,218 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (Table 3 and Figures 9-24), plus the
+// ablation studies DESIGN.md calls out. Each experiment prints the same rows
+// or series the paper reports, over the synthetic stand-in datasets of
+// internal/gen (see DESIGN.md §4 for the substitutions).
+//
+// Experiments are registered by id ("table3", "fig9" … "fig24",
+// "ablation-*") and run by cmd/experiments or, at reduced scale, by the
+// root-level Go benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"gogreen/internal/core"
+	"gogreen/internal/dataset"
+	"gogreen/internal/gen"
+	"gogreen/internal/hmine"
+	"gogreen/internal/mining"
+)
+
+// Config parameterizes one experiment run.
+type Config struct {
+	// Scale multiplies dataset sizes (1.0 = paper-sized; benchmarks use
+	// 0.01-0.05).
+	Scale float64
+	// TempDir hosts memory-limited partition spills; "" = system temp.
+	TempDir string
+	// MaxPoints truncates each figure's ξ_new sweep (0 = all points); used
+	// by quick test runs to skip the expensive deep thresholds.
+	MaxPoints int
+}
+
+// sweepOf applies MaxPoints to a sweep.
+func (c Config) sweepOf(sweep []float64) []float64 {
+	if c.MaxPoints > 0 && c.MaxPoints < len(sweep) {
+		return sweep[:c.MaxPoints]
+	}
+	return sweep
+}
+
+// Experiment regenerates one table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarizes what the paper's version of this artifact shows.
+	Paper string
+	Run   func(cfg Config, w io.Writer) error
+}
+
+// DatasetSpec fixes one evaluation dataset's thresholds: ξ_old for the
+// recycled pattern set and the ξ_new sweep for the figures (Section 5's
+// setup, adapted to the stand-in generators' calibration).
+type DatasetSpec struct {
+	Name     string
+	Gen      func(scale float64) *dataset.DB
+	XiOld    float64
+	Sweep    []float64 // descending ξ_new values
+	MemSweep []float64 // ξ_new values for the memory-limited figures
+}
+
+// Specs lists the four evaluation datasets in paper order.
+var Specs = []DatasetSpec{
+	{
+		Name:  "weather",
+		Gen:   gen.Weather,
+		XiOld: 0.05,
+		Sweep: []float64{0.04, 0.03, 0.02, 0.01, 0.005},
+		// Deeper thresholds stress partitioning harder.
+		MemSweep: []float64{0.03, 0.02, 0.01},
+	},
+	{
+		Name:     "forest",
+		Gen:      gen.Forest,
+		XiOld:    0.01,
+		Sweep:    []float64{0.008, 0.006, 0.004, 0.002},
+		MemSweep: []float64{0.006, 0.004, 0.002},
+	},
+	{
+		Name:  "connect4",
+		Gen:   gen.Connect4,
+		XiOld: 0.95,
+		// Pattern counts: ~1.8k at 0.945, ~525k at 0.925, ~930k at 0.905.
+		Sweep:    []float64{0.945, 0.935, 0.925, 0.915, 0.905},
+		MemSweep: []float64{0.945, 0.935, 0.925},
+	},
+	{
+		Name:     "pumsb",
+		Gen:      gen.Pumsb,
+		XiOld:    0.90,
+		Sweep:    []float64{0.89, 0.87, 0.855, 0.835, 0.815},
+		MemSweep: []float64{0.89, 0.87, 0.855},
+	},
+}
+
+// SpecByName returns the dataset spec with the given name, or nil.
+func SpecByName(name string) *DatasetSpec {
+	for i := range Specs {
+		if Specs[i].Name == name {
+			return &Specs[i]
+		}
+	}
+	return nil
+}
+
+// dsCache avoids regenerating datasets across experiments in one process.
+var dsCache = map[string]*dataset.DB{}
+
+// Dataset returns the named dataset at the given scale, cached.
+func Dataset(spec *DatasetSpec, scale float64) *dataset.DB {
+	key := fmt.Sprintf("%s@%g", spec.Name, scale)
+	if db, ok := dsCache[key]; ok {
+		return db
+	}
+	db := spec.Gen(scale)
+	dsCache[key] = db
+	return db
+}
+
+// fpCache caches the ξ_old pattern sets.
+var fpCache = map[string][]mining.Pattern{}
+
+// RecycledPatterns mines the dataset at ξ_old with H-Mine and returns the
+// pattern set used for recycling, cached per dataset and scale.
+func RecycledPatterns(spec *DatasetSpec, scale float64) []mining.Pattern {
+	key := fmt.Sprintf("%s@%g", spec.Name, scale)
+	if fp, ok := fpCache[key]; ok {
+		return fp
+	}
+	db := Dataset(spec, scale)
+	var col mining.Collector
+	if err := hmine.New().Mine(db, MinCountAt(db.Len(), spec.XiOld), &col); err != nil {
+		panic(fmt.Sprintf("bench: mining ξ_old patterns for %s: %v", spec.Name, err))
+	}
+	fpCache[key] = col.Patterns
+	return col.Patterns
+}
+
+// cdbCache caches compressed databases per dataset, scale and strategy.
+var cdbCache = map[string]*core.CDB{}
+
+// CompressedDB returns the dataset compressed with the given strategy using
+// its ξ_old patterns, cached.
+func CompressedDB(spec *DatasetSpec, scale float64, strat core.Strategy) *core.CDB {
+	key := fmt.Sprintf("%s@%g/%s", spec.Name, scale, strat)
+	if cdb, ok := cdbCache[key]; ok {
+		return cdb
+	}
+	cdb := core.Compress(Dataset(spec, scale), RecycledPatterns(spec, scale), strat)
+	cdbCache[key] = cdb
+	return cdb
+}
+
+// ResetCaches clears all dataset caches (tests use it to bound memory).
+func ResetCaches() {
+	dsCache = map[string]*dataset.DB{}
+	fpCache = map[string][]mining.Pattern{}
+	cdbCache = map[string]*core.CDB{}
+}
+
+// MinCountAt converts a relative threshold for db, clamped to 2: an
+// absolute support of 1 makes every subset of every tuple frequent, which
+// is never what a figure's sweep means — it only arises when tiny test
+// scales shrink fractional thresholds below one tuple.
+func MinCountAt(numTx int, frac float64) int {
+	if c := mining.MinCount(numTx, frac); c > 1 {
+		return c
+	}
+	return 2
+}
+
+// Timed measures one run of f.
+func Timed(f func()) time.Duration {
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}
+
+// All returns every registered experiment in a stable order: table3, the
+// figures in paper order, then the ablations.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return order(out[i].ID) < order(out[j].ID) })
+	return out
+}
+
+// ByID returns the experiment with the given id, or nil.
+func ByID(id string) *Experiment {
+	for i := range registry {
+		if registry[i].ID == id {
+			return &registry[i]
+		}
+	}
+	return nil
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// order gives table3 < fig9..fig24 < ablations.
+func order(id string) string {
+	switch {
+	case id == "table3":
+		return "0"
+	case len(id) > 3 && id[:3] == "fig":
+		if len(id) == 4 {
+			return "1:0" + id[3:]
+		}
+		return "1:" + id[3:]
+	default:
+		return "2:" + id
+	}
+}

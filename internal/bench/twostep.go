@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"gogreen/internal/mining"
+	"gogreen/internal/twostep"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-twostep",
+		Title: "Two-step cold mining: direct vs split (high ξ then recycle) vs progressive cascade",
+		Paper: "answers §5.2 observation 1's open question: when does splitting a cold low-support task pay off?",
+		Run:   runTwoStep,
+	})
+}
+
+// runTwoStep compares direct H-Mine against the paper-proposed split and
+// the geometric cascade, from a cold start (no previous round).
+func runTwoStep(cfg Config, w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tξ_new\tdirect\ttwo-step(4x)\tprogressive\tbest speedup")
+	for _, name := range []string{"weather", "connect4", "pumsb"} {
+		spec := SpecByName(name)
+		db := Dataset(spec, cfg.Scale)
+		for _, xi := range []float64{spec.Sweep[len(spec.Sweep)/2], spec.Sweep[len(spec.Sweep)-1]} {
+			min := MinCountAt(db.Len(), xi)
+			var patterns int
+			direct := Timed(func() {
+				var c mining.Count
+				if err := hmineMiner().Mine(db, min, &c); err != nil {
+					panic(err)
+				}
+				patterns = c.N
+			})
+			opts := twostep.Options{Engine: rphmineMiner()}
+			split := Timed(func() {
+				var c mining.Count
+				if err := twostep.Mine(db, min, opts, &c); err != nil {
+					panic(err)
+				}
+				if c.N != patterns {
+					panic(fmt.Sprintf("bench: two-step mismatch %d vs %d", c.N, patterns))
+				}
+			})
+			prog := Timed(func() {
+				var c mining.Count
+				if err := twostep.Progressive(db, min, opts, &c); err != nil {
+					panic(err)
+				}
+				if c.N != patterns {
+					panic(fmt.Sprintf("bench: progressive mismatch %d vs %d", c.N, patterns))
+				}
+			})
+			best := split.Seconds()
+			if prog.Seconds() < best {
+				best = prog.Seconds()
+			}
+			fmt.Fprintf(tw, "%s\t%.3f\t%.3fs\t%.3fs\t%.3fs\t%.1fx\n",
+				name, xi, direct.Seconds(), split.Seconds(), prog.Seconds(),
+				direct.Seconds()/best)
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,162 @@
+// Package constraints models the constrained-mining setting of the paper's
+// introduction: users restrict frequent-pattern mining with constraints of
+// the four classes the literature integrates into mining algorithms —
+// anti-monotone, monotone, succinct, and convertible (Section 2) — and then
+// iterate, tightening or relaxing them between rounds.
+//
+// The package provides the constraint vocabulary, evaluation, the
+// tighten/relax comparison that drives the recycling decision (tightened →
+// filter the old patterns; relaxed → compress and re-mine), and a
+// constrained-mining wrapper that pushes succinct item constraints into the
+// database and post-filters the rest.
+package constraints
+
+import (
+	"fmt"
+	"strings"
+
+	"gogreen/internal/dataset"
+)
+
+// Class is a constraint class, which determines how a constraint can be
+// pushed into mining and how threshold changes relate old and new result
+// sets.
+type Class int
+
+const (
+	// AntiMonotone: if a pattern violates it, so do all supersets
+	// (e.g. minimum support, maximum length, sum of non-negative prices <= v).
+	AntiMonotone Class = iota
+	// Monotone: if a pattern satisfies it, so do all supersets
+	// (e.g. minimum length, sum of non-negative prices >= v).
+	Monotone
+	// Succinct: satisfaction is decided by item membership alone, so the
+	// qualifying items can be selected before mining (e.g. "items drawn
+	// from S only", "must contain an item of S").
+	Succinct
+	// Convertible: becomes anti-monotone or monotone under a suitable item
+	// order (e.g. average price >= v under descending price order).
+	Convertible
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case AntiMonotone:
+		return "anti-monotone"
+	case Monotone:
+		return "monotone"
+	case Succinct:
+		return "succinct"
+	case Convertible:
+		return "convertible"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Constraint is one predicate over patterns.
+type Constraint interface {
+	// Name identifies the constraint kind for comparison and display.
+	Name() string
+	// Class returns the constraint's class.
+	Class() Class
+	// Satisfied reports whether a pattern with the given support meets the
+	// constraint. Items are sorted ascending.
+	Satisfied(items []dataset.Item, support int) bool
+	// Compare relates this constraint to an earlier-version counterpart of
+	// the same Name: Tighter means every pattern satisfying the receiver
+	// also satisfied old (solution space shrank), Looser the reverse,
+	// Equal identical, Incomparable unknown.
+	Compare(old Constraint) Relation
+}
+
+// Relation is the outcome of comparing a new constraint against an old one.
+type Relation int
+
+const (
+	// Equal: identical solution spaces.
+	Equal Relation = iota
+	// Tighter: the new constraint admits a subset of the old solutions.
+	Tighter
+	// Looser: the new constraint admits a superset of the old solutions.
+	Looser
+	// Incomparable: neither containment can be established.
+	Incomparable
+)
+
+// String implements fmt.Stringer.
+func (r Relation) String() string {
+	switch r {
+	case Equal:
+		return "equal"
+	case Tighter:
+		return "tighter"
+	case Looser:
+		return "looser"
+	default:
+		return "incomparable"
+	}
+}
+
+// Set is a conjunction of constraints.
+type Set []Constraint
+
+// Satisfied reports whether every constraint holds.
+func (s Set) Satisfied(items []dataset.Item, support int) bool {
+	for _, c := range s {
+		if !c.Satisfied(items, support) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the conjunction.
+func (s Set) String() string {
+	if len(s) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.Name()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Compare relates a new constraint set to an old one, driving the recycling
+// decision of Section 2. Constraints are matched by Name: matched pairs
+// compare individually; a constraint only in the new set tightens; one only
+// in the old set loosens. Mixed directions yield Incomparable (both filter
+// and re-mine with recycling remain correct — recycling handles it).
+func Compare(old, new Set) Relation {
+	oldBy := map[string]Constraint{}
+	for _, c := range old {
+		oldBy[c.Name()] = c
+	}
+	rel := Equal
+	merge := func(r Relation) {
+		switch {
+		case r == Equal:
+		case rel == Equal:
+			rel = r
+		case rel != r:
+			rel = Incomparable
+		}
+	}
+	seen := map[string]bool{}
+	for _, c := range new {
+		seen[c.Name()] = true
+		if o, ok := oldBy[c.Name()]; ok {
+			merge(c.Compare(o))
+		} else {
+			merge(Tighter) // extra conjunct can only shrink solutions
+		}
+	}
+	for name := range oldBy {
+		if !seen[name] {
+			merge(Looser) // dropped conjunct can only grow solutions
+		}
+	}
+	return rel
+}

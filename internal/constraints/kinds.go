@@ -1,0 +1,355 @@
+package constraints
+
+import "gogreen/internal/dataset"
+
+// MinSupport requires sup(X) >= Count. The essential anti-monotone
+// constraint of frequent-pattern mining.
+type MinSupport struct{ Count int }
+
+// Name implements Constraint.
+func (MinSupport) Name() string { return "minsupport" }
+
+// Class implements Constraint.
+func (MinSupport) Class() Class { return AntiMonotone }
+
+// Satisfied implements Constraint.
+func (c MinSupport) Satisfied(_ []dataset.Item, support int) bool { return support >= c.Count }
+
+// Compare implements Constraint.
+func (c MinSupport) Compare(old Constraint) Relation {
+	o, ok := old.(MinSupport)
+	if !ok {
+		return Incomparable
+	}
+	return cmpThreshold(c.Count, o.Count, true)
+}
+
+// MaxSupport requires sup(X) <= Count (rare-pattern constraints). Monotone:
+// supersets only lose support.
+type MaxSupport struct{ Count int }
+
+// Name implements Constraint.
+func (MaxSupport) Name() string { return "maxsupport" }
+
+// Class implements Constraint.
+func (MaxSupport) Class() Class { return Monotone }
+
+// Satisfied implements Constraint.
+func (c MaxSupport) Satisfied(_ []dataset.Item, support int) bool { return support <= c.Count }
+
+// Compare implements Constraint.
+func (c MaxSupport) Compare(old Constraint) Relation {
+	o, ok := old.(MaxSupport)
+	if !ok {
+		return Incomparable
+	}
+	return cmpThreshold(c.Count, o.Count, false)
+}
+
+// MinLength requires |X| >= N (monotone).
+type MinLength struct{ N int }
+
+// Name implements Constraint.
+func (MinLength) Name() string { return "minlength" }
+
+// Class implements Constraint.
+func (MinLength) Class() Class { return Monotone }
+
+// Satisfied implements Constraint.
+func (c MinLength) Satisfied(items []dataset.Item, _ int) bool { return len(items) >= c.N }
+
+// Compare implements Constraint.
+func (c MinLength) Compare(old Constraint) Relation {
+	o, ok := old.(MinLength)
+	if !ok {
+		return Incomparable
+	}
+	return cmpThreshold(c.N, o.N, true)
+}
+
+// MaxLength requires |X| <= N (anti-monotone).
+type MaxLength struct{ N int }
+
+// Name implements Constraint.
+func (MaxLength) Name() string { return "maxlength" }
+
+// Class implements Constraint.
+func (MaxLength) Class() Class { return AntiMonotone }
+
+// Satisfied implements Constraint.
+func (c MaxLength) Satisfied(items []dataset.Item, _ int) bool { return len(items) <= c.N }
+
+// Compare implements Constraint.
+func (c MaxLength) Compare(old Constraint) Relation {
+	o, ok := old.(MaxLength)
+	if !ok {
+		return Incomparable
+	}
+	return cmpThreshold(c.N, o.N, false)
+}
+
+// ItemsFrom requires X ⊆ Allowed (succinct and anti-monotone): patterns draw
+// items from an allowed set only. The zero value (nil Allowed) admits
+// nothing; build with NewItemsFrom.
+type ItemsFrom struct{ allowed map[dataset.Item]bool }
+
+// NewItemsFrom builds an ItemsFrom constraint over the given items.
+func NewItemsFrom(items ...dataset.Item) ItemsFrom {
+	m := make(map[dataset.Item]bool, len(items))
+	for _, it := range items {
+		m[it] = true
+	}
+	return ItemsFrom{allowed: m}
+}
+
+// Name implements Constraint.
+func (ItemsFrom) Name() string { return "itemsfrom" }
+
+// Class implements Constraint.
+func (ItemsFrom) Class() Class { return Succinct }
+
+// Satisfied implements Constraint.
+func (c ItemsFrom) Satisfied(items []dataset.Item, _ int) bool {
+	for _, it := range items {
+		if !c.allowed[it] {
+			return false
+		}
+	}
+	return true
+}
+
+// Allows reports whether a single item may appear (used to push the
+// constraint into the database before mining).
+func (c ItemsFrom) Allows(it dataset.Item) bool { return c.allowed[it] }
+
+// Compare implements Constraint.
+func (c ItemsFrom) Compare(old Constraint) Relation {
+	o, ok := old.(ItemsFrom)
+	if !ok {
+		return Incomparable
+	}
+	sub, sup := true, true
+	for it := range c.allowed {
+		if !o.allowed[it] {
+			sup = false
+			break
+		}
+	}
+	for it := range o.allowed {
+		if !c.allowed[it] {
+			sub = false
+			break
+		}
+	}
+	switch {
+	case sub && sup:
+		return Equal
+	case sup: // new allowed ⊆ old allowed
+		return Tighter
+	case sub:
+		return Looser
+	default:
+		return Incomparable
+	}
+}
+
+// Contains requires X ∩ Required ≠ ∅ (succinct and monotone). Build with
+// NewContains.
+type Contains struct{ required map[dataset.Item]bool }
+
+// NewContains builds a Contains constraint over the given items.
+func NewContains(items ...dataset.Item) Contains {
+	m := make(map[dataset.Item]bool, len(items))
+	for _, it := range items {
+		m[it] = true
+	}
+	return Contains{required: m}
+}
+
+// Name implements Constraint.
+func (Contains) Name() string { return "contains" }
+
+// Class implements Constraint.
+func (Contains) Class() Class { return Succinct }
+
+// Satisfied implements Constraint.
+func (c Contains) Satisfied(items []dataset.Item, _ int) bool {
+	for _, it := range items {
+		if c.required[it] {
+			return true
+		}
+	}
+	return false
+}
+
+// Compare implements Constraint.
+func (c Contains) Compare(old Constraint) Relation {
+	o, ok := old.(Contains)
+	if !ok {
+		return Incomparable
+	}
+	sub, sup := true, true
+	for it := range c.required {
+		if !o.required[it] {
+			sup = false
+			break
+		}
+	}
+	for it := range o.required {
+		if !c.required[it] {
+			sub = false
+			break
+		}
+	}
+	switch {
+	case sub && sup:
+		return Equal
+	case sup: // fewer ways to hit the required set
+		return Tighter
+	case sub:
+		return Looser
+	default:
+		return Incomparable
+	}
+}
+
+// SumLeq requires Σ value(i) <= Bound for non-negative item values
+// (anti-monotone), e.g. "total price at most v".
+type SumLeq struct {
+	Values []float64 // per item id; missing ids value 0
+	Bound  float64
+	Label  string // distinguishes multiple sum constraints; "" ok
+}
+
+// Name implements Constraint.
+func (c SumLeq) Name() string { return "sumleq" + c.Label }
+
+// Class implements Constraint.
+func (SumLeq) Class() Class { return AntiMonotone }
+
+// Satisfied implements Constraint.
+func (c SumLeq) Satisfied(items []dataset.Item, _ int) bool {
+	return sum(c.Values, items) <= c.Bound
+}
+
+// Compare implements Constraint.
+func (c SumLeq) Compare(old Constraint) Relation {
+	o, ok := old.(SumLeq)
+	if !ok || !sameValues(c.Values, o.Values) {
+		return Incomparable
+	}
+	if c.Bound == o.Bound {
+		return Equal
+	}
+	if c.Bound < o.Bound {
+		return Tighter
+	}
+	return Looser
+}
+
+// SumGeq requires Σ value(i) >= Bound for non-negative item values
+// (monotone), e.g. "total price at least v".
+type SumGeq struct {
+	Values []float64
+	Bound  float64
+	Label  string
+}
+
+// Name implements Constraint.
+func (c SumGeq) Name() string { return "sumgeq" + c.Label }
+
+// Class implements Constraint.
+func (SumGeq) Class() Class { return Monotone }
+
+// Satisfied implements Constraint.
+func (c SumGeq) Satisfied(items []dataset.Item, _ int) bool {
+	return sum(c.Values, items) >= c.Bound
+}
+
+// Compare implements Constraint.
+func (c SumGeq) Compare(old Constraint) Relation {
+	o, ok := old.(SumGeq)
+	if !ok || !sameValues(c.Values, o.Values) {
+		return Incomparable
+	}
+	if c.Bound == o.Bound {
+		return Equal
+	}
+	if c.Bound > o.Bound {
+		return Tighter
+	}
+	return Looser
+}
+
+// AvgGeq requires avg value(i) >= Bound — the classic convertible
+// constraint: neither monotone nor anti-monotone, but anti-monotone when
+// items are explored in descending value order.
+type AvgGeq struct {
+	Values []float64
+	Bound  float64
+	Label  string
+}
+
+// Name implements Constraint.
+func (c AvgGeq) Name() string { return "avggeq" + c.Label }
+
+// Class implements Constraint.
+func (AvgGeq) Class() Class { return Convertible }
+
+// Satisfied implements Constraint.
+func (c AvgGeq) Satisfied(items []dataset.Item, _ int) bool {
+	if len(items) == 0 {
+		return false
+	}
+	return sum(c.Values, items)/float64(len(items)) >= c.Bound
+}
+
+// Compare implements Constraint.
+func (c AvgGeq) Compare(old Constraint) Relation {
+	o, ok := old.(AvgGeq)
+	if !ok || !sameValues(c.Values, o.Values) {
+		return Incomparable
+	}
+	if c.Bound == o.Bound {
+		return Equal
+	}
+	if c.Bound > o.Bound {
+		return Tighter
+	}
+	return Looser
+}
+
+// cmpThreshold compares numeric thresholds; higherIsTighter selects the
+// direction.
+func cmpThreshold(new, old int, higherIsTighter bool) Relation {
+	switch {
+	case new == old:
+		return Equal
+	case (new > old) == higherIsTighter:
+		return Tighter
+	default:
+		return Looser
+	}
+}
+
+func sum(values []float64, items []dataset.Item) float64 {
+	s := 0.0
+	for _, it := range items {
+		if int(it) < len(values) {
+			s += values[it]
+		}
+	}
+	return s
+}
+
+func sameValues(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,125 @@
+package constraints
+
+import (
+	"errors"
+	"fmt"
+
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+)
+
+// ErrNoMinSupport is returned by Mine when the constraint set lacks a
+// MinSupport conjunct: without one the frequent-pattern semantics are
+// undefined.
+var ErrNoMinSupport = errors.New("constraints: set has no minsupport constraint")
+
+// MinSupportOf extracts the MinSupport threshold from a set, or 0.
+func MinSupportOf(s Set) int {
+	for _, c := range s {
+		if ms, ok := c.(MinSupport); ok {
+			return ms.Count
+		}
+	}
+	return 0
+}
+
+// Mine runs constrained frequent-pattern mining: it pushes what it can into
+// the mining itself and post-filters the rest.
+//
+//   - MinSupport drives the miner natively (anti-monotone, pushed fully).
+//   - ItemsFrom (succinct anti-monotone) is pushed by deleting excluded
+//     items from the database before mining: no pattern over excluded items
+//     is ever generated, and supports of allowed patterns are unchanged.
+//   - All remaining constraints (monotone, convertible, other anti-monotone)
+//     are applied as a filter on the stream of frequent patterns. This keeps
+//     the wrapper algorithm-agnostic; pushing them deeper is a per-algorithm
+//     optimization the paper's recycling scheme deliberately does not depend
+//     on ("a non-intrusive method of reusing patterns ... no matter what
+//     type of constraints", Section 6).
+//
+// The sink receives exactly the frequent patterns satisfying every
+// constraint.
+func Mine(db *dataset.DB, cs Set, miner mining.Miner, sink mining.Sink) error {
+	min := MinSupportOf(cs)
+	if min < 1 {
+		return ErrNoMinSupport
+	}
+	mineDB := db
+	var rest Set
+	for _, c := range cs {
+		switch c := c.(type) {
+		case MinSupport:
+			// Handled natively.
+		case ItemsFrom:
+			mineDB = pushItemsFrom(mineDB, c)
+		default:
+			rest = append(rest, c)
+		}
+	}
+	if len(rest) == 0 {
+		return miner.Mine(mineDB, min, sink)
+	}
+	filter := mining.SinkFunc(func(items []dataset.Item, support int) {
+		if rest.Satisfied(items, support) {
+			sink.Emit(items, support)
+		}
+	})
+	return miner.Mine(mineDB, min, filter)
+}
+
+// pushItemsFrom deletes excluded items from every tuple.
+func pushItemsFrom(db *dataset.DB, c ItemsFrom) *dataset.DB {
+	tx := make([][]dataset.Item, 0, db.Len())
+	for _, t := range db.All() {
+		nt := make([]dataset.Item, 0, len(t))
+		for _, it := range t {
+			if c.Allows(it) {
+				nt = append(nt, it)
+			}
+		}
+		if len(nt) > 0 {
+			tx = append(tx, nt)
+		}
+	}
+	return dataset.New(tx)
+}
+
+// FilterSet post-filters a mined pattern set by the non-support constraints
+// of cs — the tighten path for constraint combinations (Section 2: when
+// constraints tighten, the new answer is a filter of the old).
+func FilterSet(fp []mining.Pattern, cs Set) []mining.Pattern {
+	out := make([]mining.Pattern, 0, len(fp))
+	for _, p := range fp {
+		if cs.Satisfied(p.Items, p.Support) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Describe renders a one-line description of a set with thresholds, for
+// logs and the interactive example.
+func Describe(s Set) string {
+	if len(s) == 0 {
+		return "unconstrained"
+	}
+	out := ""
+	for i, c := range s {
+		if i > 0 {
+			out += " ∧ "
+		}
+		switch c := c.(type) {
+		case MinSupport:
+			out += fmt.Sprintf("sup>=%d", c.Count)
+		case MaxSupport:
+			out += fmt.Sprintf("sup<=%d", c.Count)
+		case MinLength:
+			out += fmt.Sprintf("len>=%d", c.N)
+		case MaxLength:
+			out += fmt.Sprintf("len<=%d", c.N)
+		default:
+			out += c.Name()
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+// Package convertible pushes convertible constraints into frequent-pattern
+// mining (Pei, Han, Lakshmanan: "Mining frequent itemsets with convertible
+// constraints", ICDE'01 — reference [14] of the paper).
+//
+// A convertible constraint like avg(value(X)) >= v is neither monotone nor
+// anti-monotone, so the generic wrapper in internal/constraints can only
+// post-filter it. Under the right *item order*, however, it becomes
+// anti-monotone with respect to prefix extension: enumerate items by
+// descending value and every extension of a prefix appends values no larger
+// than any already present, so the running average never increases. When a
+// prefix's average drops below the bound, its entire subtree is pruned.
+//
+// The miner here is a depth-first projected-database miner (the same family
+// as the rest of the module) whose item order is the constraint's value
+// order instead of the F-list; it prunes with both the support threshold
+// and the converted constraint. Output equals post-filtering the complete
+// frequent set — the point is to do less work getting there — and the
+// package's tests verify exactly that equivalence.
+package convertible
+
+import (
+	"sort"
+
+	"gogreen/internal/constraints"
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+)
+
+// Miner mines all frequent patterns satisfying an AvgGeq constraint, with
+// the constraint pushed into the search.
+type Miner struct {
+	// Constraint is the convertible constraint to push.
+	Constraint constraints.AvgGeq
+}
+
+// Name implements mining.Miner.
+func (Miner) Name() string { return "convertible-avg" }
+
+// Mine implements mining.Miner: emits exactly the frequent patterns with
+// avg value >= the bound.
+func (m Miner) Mine(db *dataset.DB, minCount int, sink mining.Sink) error {
+	if minCount < 1 {
+		return mining.ErrBadMinSupport
+	}
+	counts := db.ItemCounts()
+
+	// Candidate items: frequent AND individually able to start a
+	// satisfying prefix. Because the enumeration appends non-increasing
+	// values, a prefix can only satisfy avg >= bound if its FIRST item has
+	// value >= bound.
+	value := func(it dataset.Item) float64 {
+		if int(it) < len(m.Constraint.Values) {
+			return m.Constraint.Values[it]
+		}
+		return 0
+	}
+	var items []dataset.Item
+	for id, c := range counts {
+		if c >= minCount {
+			items = append(items, dataset.Item(id))
+		}
+	}
+	// Value-descending order (ties by id for determinism) — the conversion
+	// order that makes AvgGeq anti-monotone over prefixes.
+	sort.Slice(items, func(i, j int) bool {
+		vi, vj := value(items[i]), value(items[j])
+		if vi != vj {
+			return vi > vj
+		}
+		return items[i] < items[j]
+	})
+
+	// Re-encode transactions in rank space of this order.
+	rank := make(map[dataset.Item]int, len(items))
+	for r, it := range items {
+		rank[it] = r
+	}
+	tx := make([][]dataset.Item, 0, db.Len())
+	for _, t := range db.All() {
+		enc := make([]dataset.Item, 0, len(t))
+		for _, it := range t {
+			if r, ok := rank[it]; ok {
+				enc = append(enc, dataset.Item(r))
+			}
+		}
+		if len(enc) > 0 {
+			sort.Slice(enc, func(i, j int) bool { return enc[i] < enc[j] })
+			tx = append(tx, enc)
+		}
+	}
+
+	c := &ctx{
+		items: items,
+		vals:  make([]float64, len(items)),
+		min:   minCount,
+		bound: m.Constraint.Bound,
+		sink:  sink,
+		dec:   make([]dataset.Item, len(items)),
+	}
+	for r, it := range items {
+		c.vals[r] = value(it)
+	}
+	c.mine(tx, nil, 0)
+	return nil
+}
+
+type ctx struct {
+	items []dataset.Item
+	vals  []float64 // value per rank
+	min   int
+	bound float64
+	sink  mining.Sink
+	dec   []dataset.Item
+}
+
+// mine explores extensions of prefix (ranks, ascending = descending value)
+// over the projected transactions, carrying the prefix's value sum.
+func (c *ctx) mine(tx [][]dataset.Item, prefix []dataset.Item, sum float64) {
+	counts := map[dataset.Item]int{}
+	for _, t := range tx {
+		for _, r := range t {
+			counts[r]++
+		}
+	}
+	var exts []dataset.Item
+	for r, n := range counts {
+		if n >= c.min {
+			exts = append(exts, r)
+		}
+	}
+	sort.Slice(exts, func(i, j int) bool { return exts[i] < exts[j] })
+
+	prefix = append(prefix, 0)
+	for _, r := range exts {
+		// Converted anti-monotonicity: extending with r (and anything after
+		// r) keeps values <= vals[r], so if the average including r is
+		// below the bound, so is every deeper pattern — prune the subtree.
+		newSum := sum + c.vals[r]
+		newLen := len(prefix)
+		if newSum/float64(newLen) < c.bound {
+			// All later exts have still smaller values: their averages are
+			// no better. The whole remaining loop is prunable.
+			break
+		}
+		prefix[newLen-1] = r
+		c.emit(prefix, counts[r])
+
+		var proj [][]dataset.Item
+		for _, t := range tx {
+			for i, it := range t {
+				if it == r {
+					if i+1 < len(t) {
+						proj = append(proj, t[i+1:])
+					}
+					break
+				}
+				if it > r {
+					break
+				}
+			}
+		}
+		if len(proj) > 0 {
+			c.mine(proj, prefix, newSum)
+		}
+	}
+}
+
+func (c *ctx) emit(prefix []dataset.Item, support int) {
+	out := c.dec[:len(prefix)]
+	for i, r := range prefix {
+		out[i] = c.items[r]
+	}
+	c.sink.Emit(out, support)
+}

@@ -1,0 +1,109 @@
+package convertible_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"gogreen/internal/constraints"
+	"gogreen/internal/convertible"
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+	"gogreen/internal/testutil"
+)
+
+// TestMatchesPostFilter: pushing the constraint must produce exactly the
+// post-filtered complete set, across random databases, values and bounds.
+func TestMatchesPostFilter(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for rep := 0; rep < 20; rep++ {
+		db := testutil.RandomDB(r, 30+r.Intn(80), 5+r.Intn(12), 1+r.Intn(9))
+		values := make([]float64, 40)
+		for i := range values {
+			values[i] = float64(r.Intn(12))
+		}
+		for _, bound := range []float64{0, 2, 4.5, 7, 100} {
+			for _, min := range []int{2, 4} {
+				cons := constraints.AvgGeq{Values: values, Bound: bound}
+				var col mining.Collector
+				if err := (convertible.Miner{Constraint: cons}).Mine(db, min, &col); err != nil {
+					t.Fatal(err)
+				}
+				got, err := col.Set()
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := mining.PatternSet{}
+				for k, p := range testutil.Oracle(t, db, min) {
+					if cons.Satisfied(p.Items, p.Support) {
+						want[k] = p
+					}
+				}
+				if !got.Equal(want) {
+					t.Fatalf("rep %d bound=%g min=%d:\n%v", rep, bound, min, got.Diff(want, 10))
+				}
+			}
+		}
+	}
+}
+
+// TestPruningActuallyPrunes: with an unreachable bound nothing is emitted
+// and nothing breaks.
+func TestPruningActuallyPrunes(t *testing.T) {
+	db := testutil.PaperDB()
+	values := make([]float64, 10)
+	cons := constraints.AvgGeq{Values: values, Bound: 1} // all values 0
+	var col mining.Collector
+	if err := (convertible.Miner{Constraint: cons}).Mine(db, 1, &col); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Patterns) != 0 {
+		t.Fatalf("emitted %d patterns under an unsatisfiable bound", len(col.Patterns))
+	}
+}
+
+// TestZeroBoundEqualsPlainMining: bound 0 admits everything.
+func TestZeroBoundEqualsPlainMining(t *testing.T) {
+	db := testutil.PaperDB()
+	values := make([]float64, 10)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	cons := constraints.AvgGeq{Values: values, Bound: 0}
+	var col mining.Collector
+	if err := (convertible.Miner{Constraint: cons}).Mine(db, 2, &col); err != nil {
+		t.Fatal(err)
+	}
+	got, err := col.Set()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := testutil.Oracle(t, db, 2); !got.Equal(want) {
+		t.Fatalf("bound 0:\n%v", got.Diff(want, 10))
+	}
+}
+
+func TestBadMinSupport(t *testing.T) {
+	m := convertible.Miner{Constraint: constraints.AvgGeq{Bound: 1}}
+	err := m.Mine(dataset.New(nil), 0, mining.SinkFunc(func([]dataset.Item, int) {}))
+	if err != mining.ErrBadMinSupport {
+		t.Errorf("got %v", err)
+	}
+}
+
+// TestMissingValuesTreatedAsZero: items beyond the values slice value 0.
+func TestMissingValuesTreatedAsZero(t *testing.T) {
+	db := dataset.New([][]dataset.Item{{0, 50}, {0, 50}, {0}})
+	cons := constraints.AvgGeq{Values: []float64{4}, Bound: 3}
+	var col mining.Collector
+	if err := (convertible.Miner{Constraint: cons}).Mine(db, 2, &col); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := col.Set()
+	// {0} has avg 4 >= 3; {50} has avg 0; {0,50} has avg 2.
+	if len(got) != 1 {
+		t.Fatalf("got %v", got.Slice())
+	}
+	if _, ok := got[mining.Key([]dataset.Item{0})]; !ok {
+		t.Fatalf("missing {0}: %v", got.Slice())
+	}
+}

@@ -1,0 +1,97 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"gogreen/internal/core"
+	"gogreen/internal/dataset"
+	"gogreen/internal/hmine"
+	"gogreen/internal/mining"
+)
+
+// benchDB builds a mid-sized random database with duplication, once.
+func benchDB(b *testing.B) (*dataset.DB, []mining.Pattern) {
+	b.Helper()
+	r := rand.New(rand.NewSource(7))
+	tx := make([][]dataset.Item, 5000)
+	for i := range tx {
+		n := 4 + r.Intn(12)
+		t := make([]dataset.Item, n)
+		for j := range t {
+			t[j] = dataset.Item(r.Intn(60) * r.Intn(2) * 2 / (1 + r.Intn(2))) // skewed
+		}
+		tx[i] = t
+	}
+	db := dataset.New(tx)
+	var col mining.Collector
+	if err := hmine.New().Mine(db, 200, &col); err != nil {
+		b.Fatal(err)
+	}
+	return db, col.Patterns
+}
+
+func BenchmarkCompressMCP(b *testing.B) {
+	db, fp := benchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Compress(db, fp, core.MCP)
+	}
+}
+
+func BenchmarkCompressMLP(b *testing.B) {
+	db, fp := benchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Compress(db, fp, core.MLP)
+	}
+}
+
+func BenchmarkDedup(b *testing.B) {
+	db, _ := benchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Dedup(db)
+	}
+}
+
+func BenchmarkRankPatterns(b *testing.B) {
+	db, fp := benchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RankPatterns(fp, db.Len(), core.MCP)
+	}
+}
+
+func BenchmarkEncodeCDB(b *testing.B) {
+	db, fp := benchDB(b)
+	cdb := core.Compress(db, fp, core.MCP)
+	flist := cdb.FList(50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.EncodeCDB(cdb, flist)
+	}
+}
+
+func BenchmarkProject(b *testing.B) {
+	db, fp := benchDB(b)
+	cdb := core.Compress(db, fp, core.MCP)
+	flist := cdb.FList(50)
+	blocks, loose := core.EncodeCDB(cdb, flist)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Project(blocks, loose, dataset.Item(i%flist.Len()))
+	}
+}
+
+func BenchmarkNaiveMine(b *testing.B) {
+	db, fp := benchDB(b)
+	cdb := core.Compress(db, fp, core.MCP)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var c mining.Count
+		if err := (core.Naive{}).MineCDB(cdb, 100, &c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

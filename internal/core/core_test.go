@@ -1,0 +1,338 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"gogreen/internal/core"
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+	"gogreen/internal/testutil"
+)
+
+// paperFP mines the paper DB at ξ_old = 3 and returns the pattern slice.
+func paperFP(t *testing.T) (*dataset.DB, []mining.Pattern) {
+	t.Helper()
+	db := testutil.PaperDB()
+	set := testutil.Oracle(t, db, 3)
+	return db, set.Slice()
+}
+
+// TestUtilityValuesExample2 checks the utility values the paper computes in
+// Example 2: fgc:3 has MCP utility (2^3−1)·3 = 21, fg/gc/ae/ec have 9, the
+// singletons have their supports.
+func TestUtilityValuesExample2(t *testing.T) {
+	db := testutil.PaperDB()
+	cases := []struct {
+		names []string
+		sup   int
+		want  uint64
+	}{
+		{[]string{"f", "g", "c"}, 3, 21},
+		{[]string{"f", "g"}, 3, 9},
+		{[]string{"g", "c"}, 3, 9},
+		{[]string{"a", "e"}, 3, 9},
+		{[]string{"e", "c"}, 3, 9},
+		{[]string{"e"}, 4, 4},
+		{[]string{"c"}, 4, 4},
+		{[]string{"f"}, 3, 3},
+		{[]string{"g"}, 3, 3},
+		{[]string{"a"}, 3, 3},
+	}
+	for _, c := range cases {
+		got := core.MCP.Utility(len(c.names), c.sup, db.Len())
+		if got != c.want {
+			t.Errorf("MCP utility of %v (sup %d) = %d, want %d", c.names, c.sup, got, c.want)
+		}
+	}
+}
+
+// TestCompressPaperExample reproduces Table 2: under MCP, tuples 100, 200,
+// 300 are compressed by fgc and tuples 400, 500 by ae, with the outlying
+// items of the table.
+func TestCompressPaperExample(t *testing.T) {
+	db, fp := paperFP(t)
+	cdb := core.Compress(db, fp, core.MCP)
+
+	if len(cdb.Groups) != 2 {
+		t.Fatalf("got %d groups, want 2 (%v)", len(cdb.Groups), cdb)
+	}
+	if len(cdb.Loose) != 0 {
+		t.Fatalf("got %d loose tuples, want 0", len(cdb.Loose))
+	}
+
+	byKey := map[string]*core.Group{}
+	for i := range cdb.Groups {
+		byKey[mining.Key(cdb.Groups[i].Pattern)] = &cdb.Groups[i]
+	}
+	fgc := byKey[mining.Key(testutil.Items(t, db, "f", "g", "c"))]
+	ae := byKey[mining.Key(testutil.Items(t, db, "a", "e"))]
+	if fgc == nil || ae == nil {
+		t.Fatalf("missing expected groups; got %v", cdb)
+	}
+
+	if fgc.Count() != 3 || ae.Count() != 2 {
+		t.Errorf("group counts fgc=%d ae=%d, want 3 and 2", fgc.Count(), ae.Count())
+	}
+	wantTails := map[int][]string{ // tuple index -> outlying items (Table 2)
+		0: {"a", "d", "e"},
+		1: {"b", "d"},
+		2: {"e"},
+		3: {"c", "i"},
+		4: {"h"},
+	}
+	check := func(g *core.Group) {
+		for i, id := range g.TupleIDs {
+			want := testutil.Items(t, db, wantTails[id]...)
+			got := g.Tails[i]
+			if mining.Key(got) != mining.Key(want) {
+				t.Errorf("tuple %d outlying items = %v, want %v", id,
+					db.Dict().Names(got), wantTails[id])
+			}
+		}
+	}
+	check(fgc)
+	check(ae)
+}
+
+// TestNaiveMinePaperExample mines the Table 2 CDB at ξ_new = 2 and checks
+// the result against Apriori on the uncompressed database — covering the
+// full Example 3 trace (d-projected single-group enumeration included).
+func TestNaiveMinePaperExample(t *testing.T) {
+	db, fp := paperFP(t)
+	for _, strat := range []core.Strategy{core.MCP, core.MLP} {
+		rec := &core.Recycler{FP: fp, Strategy: strat}
+		testutil.CheckAgainstOracle(t, rec, db, 2)
+		testutil.CheckAgainstOracle(t, rec, db, 1)
+		testutil.CheckAgainstOracle(t, rec, db, 3)
+		testutil.CheckAgainstOracle(t, rec, db, 4)
+	}
+}
+
+// TestExample3Supports spot-checks supports from the Example 3 narrative,
+// mined through the compressed path.
+func TestExample3Supports(t *testing.T) {
+	db, fp := paperFP(t)
+	rec := &core.Recycler{FP: fp, Strategy: core.MCP}
+	got := testutil.MineSet(t, rec, db, 2)
+
+	checks := []struct {
+		names []string
+		sup   int
+	}{
+		{[]string{"d", "c"}, 2}, {[]string{"d", "f"}, 2}, {[]string{"d", "g"}, 2},
+		{[]string{"d", "c", "f"}, 2}, {[]string{"d", "g", "c"}, 2},
+		{[]string{"d", "f", "g"}, 2}, {[]string{"d", "c", "f", "g"}, 2},
+		{[]string{"f", "g"}, 3}, {[]string{"f", "g", "e"}, 2},
+		{[]string{"f", "g", "e", "c"}, 2}, {[]string{"f", "g", "c"}, 3},
+		{[]string{"f", "e"}, 2}, {[]string{"f", "e", "c"}, 2}, {[]string{"f", "c"}, 3},
+		{[]string{"a", "e"}, 3}, {[]string{"a", "e", "c"}, 2}, {[]string{"a", "c"}, 2},
+	}
+	for _, c := range checks {
+		items := testutil.Items(t, db, c.names...)
+		p, ok := got[mining.Key(items)]
+		if !ok {
+			t.Errorf("missing pattern %v", c.names)
+			continue
+		}
+		if p.Support != c.sup {
+			t.Errorf("pattern %v support = %d, want %d", c.names, p.Support, c.sup)
+		}
+	}
+}
+
+// TestCompressionLossless: decompressing any CDB yields the original
+// database tuple-for-tuple, for both strategies across random inputs.
+func TestCompressionLossless(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for rep := 0; rep < 25; rep++ {
+		db := testutil.RandomDB(r, 10+r.Intn(80), 4+r.Intn(20), 1+r.Intn(10))
+		min := 2 + r.Intn(4)
+		fp := testutil.Oracle(t, db, min).Slice()
+		for _, strat := range []core.Strategy{core.MCP, core.MLP} {
+			cdb := core.Compress(db, fp, strat)
+			back := cdb.Decompress()
+			if back.Len() != db.Len() {
+				t.Fatalf("%v: decompressed %d tuples, want %d", strat, back.Len(), db.Len())
+			}
+			for i := 0; i < db.Len(); i++ {
+				if mining.Key(back.Tx(i)) != mining.Key(db.Tx(i)) {
+					t.Fatalf("%v: tuple %d = %v, want %v", strat, i, back.Tx(i), db.Tx(i))
+				}
+			}
+			// Item counts from the compressed form must equal the
+			// original's (cheap F-list construction is exact).
+			gotCounts := cdb.ItemCounts()
+			wantCounts := db.ItemCounts()
+			for it := range wantCounts {
+				g := 0
+				if it < len(gotCounts) {
+					g = gotCounts[it]
+				}
+				if g != wantCounts[it] {
+					t.Fatalf("%v: item %d count %d, want %d", strat, it, g, wantCounts[it])
+				}
+			}
+		}
+	}
+}
+
+// TestRecyclerCrossCheck runs the full randomized battery: compress at a
+// random ξ_old, mine at lower ξ_new, compare with the oracle.
+func TestRecyclerCrossCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for rep := 0; rep < 20; rep++ {
+		db := testutil.RandomDB(r, 20+r.Intn(100), 4+r.Intn(16), 1+r.Intn(10))
+		oldMin := 3 + r.Intn(8)
+		fp := testutil.Oracle(t, db, oldMin).Slice()
+		for _, strat := range []core.Strategy{core.MCP, core.MLP} {
+			rec := &core.Recycler{FP: fp, Strategy: strat}
+			for _, newMin := range []int{oldMin - 1, oldMin / 2, 2, 1} {
+				if newMin < 1 {
+					continue
+				}
+				testutil.CheckAgainstOracle(t, rec, db, newMin)
+			}
+		}
+	}
+}
+
+// TestRecyclerTightened: recycling also answers *raised* thresholds
+// correctly (the compressed database is complete, so mining it at a higher
+// threshold is still exact), even though FilterTightened is the cheap path.
+func TestRecyclerTightened(t *testing.T) {
+	db, fp := paperFP(t)
+	rec := &core.Recycler{FP: fp, Strategy: core.MCP}
+	testutil.CheckAgainstOracle(t, rec, db, 4)
+	testutil.CheckAgainstOracle(t, rec, db, 5)
+}
+
+// TestFilterTightened checks the filter path equals re-mining when the
+// support threshold rises.
+func TestFilterTightened(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for rep := 0; rep < 10; rep++ {
+		db := testutil.RandomDB(r, 30+r.Intn(60), 5+r.Intn(10), 1+r.Intn(8))
+		fp := testutil.Oracle(t, db, 2).Slice()
+		for _, newMin := range []int{3, 5, 9} {
+			got := mining.PatternSet{}
+			for _, p := range core.FilterTightened(fp, newMin) {
+				got[p.Key()] = p
+			}
+			want := testutil.Oracle(t, db, newMin)
+			if !got.Equal(want) {
+				t.Fatalf("filter(min=%d) != re-mine:\n%v", newMin, got.Diff(want, 10))
+			}
+		}
+	}
+}
+
+// TestEmptyFP: with no recycled patterns the CDB is all loose tuples and
+// mining still works (degenerates to uncompressed projected mining).
+func TestEmptyFP(t *testing.T) {
+	db := testutil.PaperDB()
+	rec := &core.Recycler{FP: nil, Strategy: core.MCP}
+	testutil.CheckAgainstOracle(t, rec, db, 2)
+
+	cdb := core.Compress(db, nil, core.MCP)
+	if len(cdb.Groups) != 0 || len(cdb.Loose) != db.Len() {
+		t.Errorf("empty FP: got %d groups, %d loose", len(cdb.Groups), len(cdb.Loose))
+	}
+	if s := cdb.Stats(); s.Ratio != 1.0 {
+		t.Errorf("empty FP compression ratio = %v, want 1.0", s.Ratio)
+	}
+}
+
+// TestCompressForeignItems: recycled patterns may mention items the
+// database does not contain (constraint changes between rounds can drop
+// items); compression must not crash and must leave such patterns unused.
+func TestCompressForeignItems(t *testing.T) {
+	db := dataset.New([][]dataset.Item{{0, 1}, {0, 1}, {1}})
+	fp := []mining.Pattern{
+		{Items: []dataset.Item{900, 901}, Support: 5}, // foreign items
+		{Items: []dataset.Item{0, 1}, Support: 2},
+	}
+	cdb := core.Compress(db, fp, core.MCP)
+	if len(cdb.Groups) != 1 || mining.Key(cdb.Groups[0].Pattern) != mining.Key([]dataset.Item{0, 1}) {
+		t.Fatalf("unexpected grouping: %v", cdb)
+	}
+	rec := &core.Recycler{FP: fp, Strategy: core.MCP}
+	testutil.CheckAgainstOracle(t, rec, db, 1)
+}
+
+// TestStrategyParsing covers the Strategy helpers.
+func TestStrategyParsing(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want core.Strategy
+		err  bool
+	}{
+		{"mcp", core.MCP, false},
+		{"MCP", core.MCP, false},
+		{"mlp", core.MLP, false},
+		{"MLP", core.MLP, false},
+		{"bogus", 0, true},
+	} {
+		got, err := core.ParseStrategy(c.in)
+		if (err != nil) != c.err || got != c.want {
+			t.Errorf("ParseStrategy(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if core.MCP.String() != "MCP" || core.MLP.String() != "MLP" {
+		t.Error("Strategy.String mismatch")
+	}
+	if s := core.Strategy(9).String(); s != "Strategy(9)" {
+		t.Errorf("unknown strategy renders %q", s)
+	}
+}
+
+// TestUtilitySaturation: utilities of absurdly long patterns saturate
+// instead of overflowing.
+func TestUtilitySaturation(t *testing.T) {
+	u1 := core.MCP.Utility(64, 1000, 1)
+	u2 := core.MCP.Utility(100, 1000, 1)
+	if u1 != u2 || u1 != ^uint64(0) {
+		t.Errorf("MCP saturation: %d vs %d", u1, u2)
+	}
+	if core.MCP.Utility(0, 5, 1) != 0 || core.MCP.Utility(-1, 5, 1) != 0 {
+		t.Error("degenerate lengths should have zero utility")
+	}
+	// MLP ordering: longer always beats shorter regardless of support.
+	dbSize := 1000
+	long := core.MLP.Utility(5, 1, dbSize)
+	short := core.MLP.Utility(4, dbSize, dbSize)
+	if long <= short {
+		t.Errorf("MLP: len-5 sup-1 (%d) must outrank len-4 sup-max (%d)", long, short)
+	}
+}
+
+// TestMLPPrefersLongest verifies the MLP cover uses the longest matching
+// pattern while MCP can prefer a shorter, costlier one.
+func TestMLPPrefersLongest(t *testing.T) {
+	// Build a database where pattern {1,2,3} is long but rare and {4,5} is
+	// short but very frequent; a tuple containing both should group under
+	// {1,2,3} with MLP.
+	var tx [][]dataset.Item
+	for i := 0; i < 3; i++ {
+		tx = append(tx, []dataset.Item{1, 2, 3, 4, 5})
+	}
+	for i := 0; i < 30; i++ {
+		tx = append(tx, []dataset.Item{4, 5})
+	}
+	db := dataset.New(tx)
+	fp := testutil.Oracle(t, db, 3).Slice()
+
+	cdb := core.Compress(db, fp, core.MLP)
+	var found bool
+	for _, g := range cdb.Groups {
+		if mining.Key(g.Pattern) == mining.Key([]dataset.Item{1, 2, 3, 4, 5}) {
+			found = true
+			if g.Count() != 3 {
+				t.Errorf("MLP longest group count = %d, want 3", g.Count())
+			}
+		}
+	}
+	if !found {
+		t.Errorf("MLP did not group the combined tuples under the longest pattern: %v", cdb)
+	}
+}

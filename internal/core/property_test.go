@@ -1,0 +1,173 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gogreen/internal/core"
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+	"gogreen/internal/testutil"
+)
+
+// genDB decodes a testing/quick input vector into a small database: each
+// byte triple becomes a tuple seed.
+func genDB(seed int64, nTx, nItems, maxLen int) *dataset.DB {
+	r := rand.New(rand.NewSource(seed))
+	return testutil.RandomDB(r, nTx, nItems, maxLen)
+}
+
+// TestQuickCompressionLossless: for arbitrary seeds and strategies,
+// compression is a lossless re-encoding.
+func TestQuickCompressionLossless(t *testing.T) {
+	f := func(seed int64, stratBit bool, minSeed uint8) bool {
+		db := genDB(seed, 5+int(uint16(seed)%60), 4+int(uint32(seed>>8)%16), 1+int(uint32(seed>>16)%9))
+		min := 1 + int(minSeed%6)
+		strat := core.MCP
+		if stratBit {
+			strat = core.MLP
+		}
+		fp := oracleSet(db, min)
+		cdb := core.Compress(db, fp, strat)
+		back := cdb.Decompress()
+		if back.Len() != db.Len() {
+			return false
+		}
+		for i := 0; i < db.Len(); i++ {
+			if mining.Key(back.Tx(i)) != mining.Key(db.Tx(i)) {
+				return false
+			}
+		}
+		// Grouped + loose accounts for every tuple exactly once.
+		total := len(cdb.Loose)
+		for _, g := range cdb.Groups {
+			total += g.Count()
+			// Tails never contain pattern items.
+			for _, tail := range g.Tails {
+				for _, it := range tail {
+					if dataset.Contains(g.Pattern, []dataset.Item{it}) {
+						return false
+					}
+				}
+			}
+		}
+		return total == db.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// oracleSet mines with apriori via testutil's RandomDB-independent path: we
+// reuse the naive recycler with empty FP, which equals plain projected
+// mining, as a cheap complete miner for property tests.
+func oracleSet(db *dataset.DB, min int) []mining.Pattern {
+	var c mining.Collector
+	rec := &core.Recycler{FP: nil, Strategy: core.MCP}
+	if err := rec.Mine(db, min, &c); err != nil {
+		panic(err)
+	}
+	return c.Patterns
+}
+
+// TestQuickAprioriProperty: every subset of every mined pattern is also
+// mined, with support >= the superset's (the Apriori property), across all
+// recycling engines.
+func TestQuickAprioriProperty(t *testing.T) {
+	f := func(seed int64, minSeed uint8) bool {
+		db := genDB(seed, 10+int(uint16(seed)%40), 4+int(uint32(seed>>8)%10), 1+int(uint32(seed>>16)%7))
+		min := 1 + int(minSeed%4)
+		fpOld := oracleSet(db, min+2)
+		rec := &core.Recycler{FP: fpOld, Strategy: core.MCP}
+		var c mining.Collector
+		if err := rec.Mine(db, min, &c); err != nil {
+			return false
+		}
+		set, err := c.Set()
+		if err != nil {
+			return false
+		}
+		for _, p := range set {
+			if p.Support < min {
+				return false
+			}
+			// Drop each single item: subset must exist with >= support.
+			if len(p.Items) < 2 {
+				continue
+			}
+			sub := make([]dataset.Item, 0, len(p.Items)-1)
+			for drop := range p.Items {
+				sub = sub[:0]
+				for i, it := range p.Items {
+					if i != drop {
+						sub = append(sub, it)
+					}
+				}
+				q, ok := set[mining.Key(sub)]
+				if !ok || q.Support < p.Support {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRecyclingIndependentOfXiOld: the mined set at ξ_new must not
+// depend on which ξ_old produced the recycled patterns, nor on the
+// strategy.
+func TestQuickRecyclingIndependentOfXiOld(t *testing.T) {
+	f := func(seed int64) bool {
+		db := genDB(seed, 15+int(uint16(seed)%50), 5+int(uint32(seed>>8)%10), 2+int(uint32(seed>>16)%7))
+		min := 2
+		var ref mining.PatternSet
+		for _, oldMin := range []int{3, 5, 8} {
+			for _, strat := range []core.Strategy{core.MCP, core.MLP} {
+				rec := &core.Recycler{FP: oracleSet(db, oldMin), Strategy: strat}
+				var c mining.Collector
+				if err := rec.Mine(db, min, &c); err != nil {
+					return false
+				}
+				set, err := c.Set()
+				if err != nil {
+					return false
+				}
+				if ref == nil {
+					ref = set
+				} else if !set.Equal(ref) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUtilityMonotonicity: MCP utility grows with both length and
+// support; MLP utility is dominated by length.
+func TestQuickUtilityMonotonicity(t *testing.T) {
+	f := func(l8, s16 uint8, db16 uint16) bool {
+		length := 1 + int(l8%40)
+		support := 1 + int(s16)
+		dbSize := support + int(db16)
+		if core.MCP.Utility(length+1, support, dbSize) <= core.MCP.Utility(length, support, dbSize) {
+			return false
+		}
+		if core.MCP.Utility(length, support+1, dbSize) <= core.MCP.Utility(length, support, dbSize) {
+			return false
+		}
+		// MLP: any longer pattern outranks any shorter one when supports
+		// are valid (<= dbSize).
+		return core.MLP.Utility(length+1, 1, dbSize) > core.MLP.Utility(length, dbSize, dbSize)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

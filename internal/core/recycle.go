@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+)
+
+// Recycler turns a CDBMiner into a mining.Miner: Mine compresses the
+// database with the recycled patterns FP under Strategy, then mines the
+// compressed database. This is the two-phase scheme of Section 3 packaged
+// behind the same interface as the non-recycling baselines, so the two can
+// be swapped and compared directly.
+type Recycler struct {
+	// FP is the set of frequent patterns from an earlier round of mining
+	// (at a more restrictive constraint setting).
+	FP []mining.Pattern
+	// Strategy ranks FP for compression (MCP or MLP).
+	Strategy Strategy
+	// Engine mines the compressed database. Nil means the naive miner.
+	Engine CDBMiner
+}
+
+// Name implements mining.Miner, e.g. "rp-hmine-MCP".
+func (r *Recycler) Name() string {
+	return fmt.Sprintf("%s-%s", r.engine().Name(), r.Strategy)
+}
+
+func (r *Recycler) engine() CDBMiner {
+	if r.Engine == nil {
+		return Naive{}
+	}
+	return r.Engine
+}
+
+// Mine implements mining.Miner.
+func (r *Recycler) Mine(db *dataset.DB, minCount int, sink mining.Sink) error {
+	if minCount < 1 {
+		return mining.ErrBadMinSupport
+	}
+	cdb := Compress(db, r.FP, r.Strategy)
+	return r.engine().MineCDB(cdb, minCount, sink)
+}
+
+// FilterTightened implements the easy direction of recycling (Section 2):
+// when constraints are tightened — here, the minimum support raised to
+// minCount — the new result set is exactly the old patterns that still
+// qualify, with their supports unchanged. No re-mining is needed.
+func FilterTightened(fp []mining.Pattern, minCount int) []mining.Pattern {
+	out := make([]mining.Pattern, 0, len(fp))
+	for _, p := range fp {
+		if p.Support >= minCount {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FilterFunc generalizes FilterTightened to arbitrary tightened constraint
+// predicates: keep says whether a pattern satisfies the new (stricter)
+// constraint set.
+func FilterFunc(fp []mining.Pattern, keep func(mining.Pattern) bool) []mining.Pattern {
+	out := make([]mining.Pattern, 0, len(fp))
+	for _, p := range fp {
+		if keep(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"sort"
+
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+)
+
+// CDBMiner is a frequent-pattern mining algorithm over a compressed
+// database. Implemented by the naive miner in this package and by the
+// H-Mine, FP-tree and Tree Projection adaptations in their own packages.
+type CDBMiner interface {
+	// Name identifies the engine (e.g. "rp-hmine").
+	Name() string
+	// MineCDB finds all frequent patterns of the database cdb represents at
+	// absolute support minCount, streaming them into sink.
+	MineCDB(cdb *CDB, minCount int, sink mining.Sink) error
+}
+
+// Naive is the paper's naive recycling miner (Figure 3): physical projected
+// databases over the compressed representation, with the single-group
+// enumeration of Lemma 3.1.
+type Naive struct {
+	// DisableSingleGroup turns off the Lemma 3.1 enumeration shortcut, for
+	// the ablation benchmarks; mining stays correct, only slower.
+	DisableSingleGroup bool
+}
+
+// Name implements CDBMiner.
+func (Naive) Name() string { return "rp-naive" }
+
+// Block is one compressed group inside a (projected) compressed database,
+// in rank space: the remaining group-pattern items (ascending rank), the
+// number of member tuples, and the members' remaining outlying items.
+// Empty tails are dropped from Tails but still counted in Count.
+type Block struct {
+	Suffix []dataset.Item
+	Count  int
+	Tails  [][]dataset.Item
+}
+
+// EncodeCDB translates a compressed database into rank space at the given
+// F-list: group patterns and tails keep only frequent items, re-sorted by
+// ascending rank; groups whose pattern loses every item degrade into loose
+// tuples (their tails).
+func EncodeCDB(cdb *CDB, flist *mining.FList) (blocks []Block, loose [][]dataset.Item) {
+	for _, g := range cdb.Groups {
+		suffix := flist.Encode(g.Pattern)
+		if len(suffix) == 0 {
+			// The whole pattern is infrequent at the new threshold: members
+			// reduce to their tails.
+			for _, tail := range g.Tails {
+				if enc := flist.Encode(tail); len(enc) > 0 {
+					loose = append(loose, enc)
+				}
+			}
+			continue
+		}
+		b := Block{Suffix: suffix, Count: g.Count()}
+		for _, tail := range g.Tails {
+			if enc := flist.Encode(tail); len(enc) > 0 {
+				b.Tails = append(b.Tails, enc)
+			}
+		}
+		blocks = append(blocks, b)
+	}
+	for _, t := range cdb.Loose {
+		if enc := flist.Encode(t); len(enc) > 0 {
+			loose = append(loose, enc)
+		}
+	}
+	return blocks, loose
+}
+
+// MineCDB implements CDBMiner.
+func (n Naive) MineCDB(cdb *CDB, minCount int, sink mining.Sink) error {
+	if minCount < 1 {
+		return mining.ErrBadMinSupport
+	}
+	flist := cdb.FList(minCount)
+	if flist.Len() == 0 {
+		return nil
+	}
+	blocks, loose := EncodeCDB(cdb, flist)
+	return n.MineEncoded(blocks, loose, flist, nil, minCount, sink)
+}
+
+// MineEncoded mines an already rank-encoded (projected) compressed database
+// whose patterns all extend prefix (given in rank space). Used by the
+// memory-limited driver to mine disk partitions (Figure 3's RP-InMemory on
+// a projected database).
+func (n Naive) MineEncoded(blocks []Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error {
+	if minCount < 1 {
+		return mining.ErrBadMinSupport
+	}
+	m := &rpCtx{flist: flist, min: minCount, sink: sink, decoded: make([]dataset.Item, flist.Len()), noSingle: n.DisableSingleGroup}
+	m.mine(blocks, loose, append([]dataset.Item(nil), prefix...))
+	return nil
+}
+
+type rpCtx struct {
+	flist    *mining.FList
+	min      int
+	sink     mining.Sink
+	decoded  []dataset.Item
+	noSingle bool
+}
+
+func (m *rpCtx) emit(prefix []dataset.Item, support int) {
+	m.sink.Emit(m.flist.DecodeInto(m.decoded, prefix), support)
+}
+
+// mine processes one projected compressed database: count candidate
+// extensions (touching each block suffix once — the first saving of
+// Section 3.1), apply the single-group shortcut when it fires, otherwise
+// recurse per frequent extension with a physically projected database (the
+// second saving: one containment check classifies a whole group).
+func (m *rpCtx) mine(blocks []Block, loose [][]dataset.Item, prefix []dataset.Item) {
+	counts := map[dataset.Item]int{}
+	for i := range blocks {
+		b := &blocks[i]
+		for _, it := range b.Suffix {
+			counts[it] += b.Count
+		}
+		for _, tail := range b.Tails {
+			for _, it := range tail {
+				counts[it]++
+			}
+		}
+	}
+	for _, t := range loose {
+		for _, it := range t {
+			counts[it]++
+		}
+	}
+	frequent := make([]dataset.Item, 0, len(counts))
+	for it, c := range counts {
+		if c >= m.min {
+			frequent = append(frequent, it)
+		}
+	}
+	if len(frequent) == 0 {
+		return
+	}
+	sort.Slice(frequent, func(i, j int) bool { return frequent[i] < frequent[j] })
+
+	// Lemma 3.1: when every occurrence of every frequent item lies in one
+	// group's pattern, the remaining patterns are all combinations of those
+	// items, each supported by the group's count.
+	if !m.noSingle {
+		if b := m.singleGroup(blocks, frequent, counts); b != nil {
+			m.enumerate(frequent, b.Count, prefix)
+			return
+		}
+	}
+
+	prefix = append(prefix, 0)
+	for _, r := range frequent {
+		prefix[len(prefix)-1] = r
+		m.emit(prefix, counts[r])
+		subBlocks, subLoose := Project(blocks, loose, r)
+		if len(subBlocks) > 0 || len(subLoose) > 0 {
+			m.mine(subBlocks, subLoose, prefix)
+		}
+	}
+}
+
+// singleGroup returns the unique block b with every frequent item in its
+// suffix and no occurrences elsewhere (counts[f] == b.Count for all f), or
+// nil. Uniqueness follows from the count equality: any second block or tail
+// occurrence would push counts above b.Count.
+func (m *rpCtx) singleGroup(blocks []Block, frequent []dataset.Item, counts map[dataset.Item]int) *Block {
+	f0 := frequent[0]
+	for i := range blocks {
+		b := &blocks[i]
+		idx := search(b.Suffix, f0)
+		if idx < 0 {
+			continue
+		}
+		// Candidate found; all frequent items must be in this suffix with
+		// exact count match.
+		for _, f := range frequent {
+			if counts[f] != b.Count || search(b.Suffix, f) < 0 {
+				return nil
+			}
+		}
+		return b
+	}
+	return nil
+}
+
+// enumerate emits every non-empty combination of items appended to prefix,
+// all with the given support.
+func (m *rpCtx) enumerate(items []dataset.Item, support int, prefix []dataset.Item) {
+	n := len(items)
+	if n > 62 {
+		panic("core: single-group enumeration over more than 62 items")
+	}
+	base := len(prefix)
+	buf := append([]dataset.Item(nil), prefix...)
+	for mask := uint64(1); mask < 1<<uint(n); mask++ {
+		buf = buf[:base]
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				buf = append(buf, items[i])
+			}
+		}
+		m.emit(buf, support)
+	}
+}
+
+// Project builds the r-projected compressed database (Definition 3.2 lifted
+// to blocks): members containing r keep their items ranked after r; a block
+// whose suffix loses every item degrades its members into loose tuples.
+// Item slices of the result share backing arrays with the input.
+func Project(blocks []Block, loose [][]dataset.Item, r dataset.Item) ([]Block, [][]dataset.Item) {
+	var outBlocks []Block
+	var outLoose [][]dataset.Item
+
+	for i := range blocks {
+		b := &blocks[i]
+		inSuffix := search(b.Suffix, r) >= 0
+		newSuffix := after(b.Suffix, r)
+
+		var newTails [][]dataset.Item
+		newCount := 0
+		if inSuffix {
+			// Every member contains r.
+			newCount = b.Count
+			for _, tail := range b.Tails {
+				if nt := after(tail, r); len(nt) > 0 {
+					newTails = append(newTails, nt)
+				}
+			}
+		} else {
+			// Only members whose tail holds r qualify.
+			for _, tail := range b.Tails {
+				if search(tail, r) < 0 {
+					continue
+				}
+				newCount++
+				if nt := after(tail, r); len(nt) > 0 {
+					newTails = append(newTails, nt)
+				}
+			}
+		}
+		if newCount == 0 {
+			continue
+		}
+		if len(newSuffix) == 0 {
+			outLoose = append(outLoose, newTails...)
+			continue
+		}
+		outBlocks = append(outBlocks, Block{Suffix: newSuffix, Count: newCount, Tails: newTails})
+	}
+
+	for _, t := range loose {
+		if search(t, r) < 0 {
+			continue
+		}
+		if nt := after(t, r); len(nt) > 0 {
+			outLoose = append(outLoose, nt)
+		}
+	}
+	return outBlocks, outLoose
+}
+
+// search returns the index of r in the sorted slice s, or -1.
+func search(s []dataset.Item, r dataset.Item) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo] == r {
+		return lo
+	}
+	return -1
+}
+
+// after returns the subslice of sorted s strictly greater than r (shared
+// backing array; callers must not mutate).
+func after(s []dataset.Item, r dataset.Item) []dataset.Item {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] <= r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return s[lo:]
+}

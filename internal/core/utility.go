@@ -1,0 +1,86 @@
+package core
+
+import "fmt"
+
+// Strategy selects the utility function that ranks recycled patterns for
+// compression (Section 3.2).
+type Strategy int
+
+const (
+	// MCP is the Minimize Cost Principle: U(X) = (2^|X| − 1) · X.C, an
+	// estimate of the search-space cost paid to discover X at ξ_old — and
+	// hence of the saving recycling X can deliver. The paper's preferred
+	// strategy.
+	MCP Strategy = iota
+	// MLP is the Maximal Length Principle: U(X) = |X| · |DB| + X.C, which
+	// covers every tuple with its longest pattern (ties by support) and
+	// minimizes storage instead of cost.
+	MLP
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case MCP:
+		return "MCP"
+	case MLP:
+		return "MLP"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy converts a strategy name ("mcp"/"mlp", case-insensitive via
+// exact lower/upper match) into a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "mcp", "MCP":
+		return MCP, nil
+	case "mlp", "MLP":
+		return MLP, nil
+	}
+	return 0, fmt.Errorf("core: unknown strategy %q (want mcp or mlp)", s)
+}
+
+// Utility computes the utility of a pattern with the given length and
+// support over a database of dbSize tuples. Arithmetic saturates at
+// math.MaxUint64 rather than overflowing (MCP's 2^|X| term exceeds 64 bits
+// for patterns longer than ~40 items).
+func (s Strategy) Utility(length, support, dbSize int) uint64 {
+	if length <= 0 || support < 0 {
+		return 0
+	}
+	switch s {
+	case MCP:
+		if length >= 64 {
+			return maxU64
+		}
+		subsets := uint64(1)<<uint(length) - 1
+		return satMul(subsets, uint64(support))
+	case MLP:
+		return satAdd(satMul(uint64(length), uint64(dbSize)), uint64(support))
+	default:
+		return 0
+	}
+}
+
+const maxU64 = ^uint64(0)
+
+// satAdd adds with saturation at the maximum uint64.
+func satAdd(a, b uint64) uint64 {
+	if a > maxU64-b {
+		return maxU64
+	}
+	return a + b
+}
+
+// satMul multiplies with saturation at the maximum uint64.
+func satMul(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > maxU64/b {
+		return maxU64
+	}
+	return a * b
+}

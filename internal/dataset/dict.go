@@ -1,0 +1,56 @@
+package dataset
+
+// Dict maps external item names to dense Item ids and back. It is not safe
+// for concurrent mutation.
+type Dict struct {
+	ids   map[string]Item
+	names []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]Item)}
+}
+
+// Intern returns the id for name, assigning the next dense id on first use.
+func (d *Dict) Intern(name string) Item {
+	if id, ok := d.ids[name]; ok {
+		return id
+	}
+	id := Item(len(d.names))
+	d.ids[name] = id
+	d.names = append(d.names, name)
+	return id
+}
+
+// Lookup returns the id for name and whether it is known.
+func (d *Dict) Lookup(name string) (Item, bool) {
+	id, ok := d.ids[name]
+	return id, ok
+}
+
+// Name returns the external name for id, or "" when unknown.
+func (d *Dict) Name(id Item) string {
+	if d == nil || id < 0 || int(id) >= len(d.names) {
+		return ""
+	}
+	return d.names[id]
+}
+
+// Len returns the number of interned names.
+func (d *Dict) Len() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.names)
+}
+
+// Names returns external names for a slice of ids, useful when printing
+// patterns. Unknown ids render as "".
+func (d *Dict) Names(ids []Item) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = d.Name(id)
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package dataset_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gogreen/internal/dataset"
+)
+
+// FuzzReadBasketIDs: arbitrary input never panics; accepted input
+// round-trips through WriteBasket.
+func FuzzReadBasketIDs(f *testing.F) {
+	f.Add("1 2 3\n4 5\n")
+	f.Add("")
+	f.Add("# comment\n\n7\n")
+	f.Add("0\n0 0 0\n")
+	f.Add("999999 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		db, err := dataset.ReadBasketIDs(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := dataset.WriteBasket(&buf, db); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		back, err := dataset.ReadBasketIDs(&buf)
+		if err != nil {
+			t.Fatalf("re-read of own output: %v", err)
+		}
+		if back.Len() != db.Len() {
+			t.Fatalf("round trip changed tuple count: %d vs %d", back.Len(), db.Len())
+		}
+		for i := 0; i < db.Len(); i++ {
+			a, b := db.Tx(i), back.Tx(i)
+			if len(a) != len(b) {
+				t.Fatalf("tuple %d length changed", i)
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("tuple %d changed", i)
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadCSV: arbitrary CSV input never panics.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n", true)
+	f.Add("x,y\n", false)
+	f.Add("\"q\"\"uote\",v\n", false)
+	f.Fuzz(func(t *testing.T, input string, header bool) {
+		db, err := dataset.ReadCSV(strings.NewReader(input), header, dataset.RelationalOptions{})
+		if err == nil && db.Len() > 0 {
+			_ = db.Stats()
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// Basket format: one transaction per line, items separated by whitespace.
+// Items may be arbitrary tokens (interned through a Dict) or, with
+// ReadBasketIDs, decimal item ids. Blank lines and lines starting with '#'
+// are skipped. This is the de-facto interchange format of the FIMI frequent
+// itemset mining repository, which hosts the paper's Connect-4 and Pumsb
+// datasets.
+
+// ReadBasket reads named-token basket data, interning tokens in a fresh Dict.
+func ReadBasket(r io.Reader) (*DB, error) {
+	d := NewDict()
+	var tx [][]Item
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		row, skip := splitFields(sc.Text())
+		if skip {
+			continue
+		}
+		t := make([]Item, 0, len(row))
+		for _, tok := range row {
+			t = append(t, d.Intern(tok))
+		}
+		tx = append(tx, Canonical(t))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("basket read: line %d: %w", line, err)
+	}
+	return withDict(tx, d), nil
+}
+
+// ReadBasketIDs reads basket data whose tokens are decimal item ids. No
+// dictionary is attached. A malformed token is an error.
+func ReadBasketIDs(r io.Reader) (*DB, error) {
+	var tx [][]Item
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		row, skip := splitFields(sc.Text())
+		if skip {
+			continue
+		}
+		t := make([]Item, 0, len(row))
+		for _, tok := range row {
+			v, err := strconv.ParseInt(tok, 10, 32)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("basket read: line %d: bad item id %q", line, tok)
+			}
+			t = append(t, Item(v))
+		}
+		tx = append(tx, Canonical(t))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("basket read: line %d: %w", line, err)
+	}
+	return New(tx), nil
+}
+
+// ReadBasketFile reads a named-token basket file.
+func ReadBasketFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	db, err := ReadBasket(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return db, nil
+}
+
+// ReadBasketIDsFile reads a numeric-id basket file.
+func ReadBasketIDsFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	db, err := ReadBasketIDs(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return db, nil
+}
+
+// WriteBasket writes the database in basket format. When the database has a
+// dictionary, names are written; otherwise decimal ids.
+func WriteBasket(w io.Writer, db *DB) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range db.All() {
+		for j, it := range t {
+			if j > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			var tok string
+			if db.Dict() != nil {
+				tok = db.Dict().Name(it)
+			} else {
+				tok = strconv.Itoa(int(it))
+			}
+			if _, err := bw.WriteString(tok); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteBasketFile writes the database to path in basket format.
+func WriteBasketFile(path string, db *DB) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBasket(f, db); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// splitFields splits a basket line into tokens, reporting skip for blank and
+// comment lines.
+func splitFields(s string) (fields []string, skip bool) {
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i < len(s) && s[i] != ' ' && s[i] != '\t' && s[i] != '\r' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			fields = append(fields, s[start:i])
+			start = -1
+		}
+	}
+	if len(fields) == 0 {
+		return nil, true
+	}
+	if fields[0][0] == '#' {
+		return nil, true
+	}
+	return fields, false
+}

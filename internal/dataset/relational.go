@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Relational ingestion: categorical tables become transaction databases the
+// way the paper's dense datasets (Connect-4 game positions, Pumsb census
+// rows) were built — every (attribute, value) pair is one item, so a row of
+// k attributes becomes a k-item tuple. Items are named "column=value" in
+// the dictionary.
+
+// RelationalOptions tunes FromRelational and ReadCSV.
+type RelationalOptions struct {
+	// SkipColumns names columns to drop (e.g. row ids, free text).
+	SkipColumns []string
+	// MissingValues are cell contents treated as absent (no item emitted);
+	// defaults to {"", "?"} when nil.
+	MissingValues []string
+}
+
+func (o RelationalOptions) missing() map[string]bool {
+	vals := o.MissingValues
+	if vals == nil {
+		vals = []string{"", "?"}
+	}
+	m := make(map[string]bool, len(vals))
+	for _, v := range vals {
+		m[v] = true
+	}
+	return m
+}
+
+// FromRelational converts a categorical table into a transaction database.
+// header names the columns; every row must have len(header) cells.
+func FromRelational(header []string, rows [][]string, opts RelationalOptions) (*DB, error) {
+	skip := make(map[int]bool)
+	for _, name := range opts.SkipColumns {
+		found := false
+		for i, h := range header {
+			if h == name {
+				skip[i] = true
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("dataset: skip column %q not in header", name)
+		}
+	}
+	missing := opts.missing()
+
+	d := NewDict()
+	tx := make([][]Item, 0, len(rows))
+	for ri, row := range rows {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("dataset: row %d has %d cells, header has %d",
+				ri, len(row), len(header))
+		}
+		t := make([]Item, 0, len(row))
+		for ci, cell := range row {
+			if skip[ci] || missing[cell] {
+				continue
+			}
+			t = append(t, d.Intern(header[ci]+"="+cell))
+		}
+		tx = append(tx, Canonical(t))
+	}
+	return withDict(tx, d), nil
+}
+
+// ReadCSV reads a categorical CSV table into a transaction database. When
+// hasHeader is false, columns are named c0, c1, ….
+func ReadCSV(r io.Reader, hasHeader bool, opts RelationalOptions) (*DB, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	all, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: csv: %w", err)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("dataset: csv: empty input")
+	}
+	var header []string
+	var rows [][]string
+	if hasHeader {
+		header = all[0]
+		rows = all[1:]
+	} else {
+		header = make([]string, len(all[0]))
+		for i := range header {
+			header[i] = fmt.Sprintf("c%d", i)
+		}
+		rows = all
+	}
+	return FromRelational(header, rows, opts)
+}
+
+// ReadCSVFile reads a categorical CSV file.
+func ReadCSVFile(path string, hasHeader bool, opts RelationalOptions) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	db, err := ReadCSV(f, hasHeader, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return db, nil
+}

@@ -1,0 +1,108 @@
+package dataset_test
+
+import (
+	"strings"
+	"testing"
+
+	"gogreen/internal/dataset"
+)
+
+func TestFromRelational(t *testing.T) {
+	header := []string{"color", "size", "id"}
+	rows := [][]string{
+		{"red", "L", "1"},
+		{"red", "M", "2"},
+		{"blue", "?", "3"},
+	}
+	db, err := dataset.FromRelational(header, rows, dataset.RelationalOptions{
+		SkipColumns: []string{"id"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 3 {
+		t.Fatalf("tuples = %d", db.Len())
+	}
+	if got := len(db.Tx(0)); got != 2 {
+		t.Errorf("row 0 items = %d, want 2", got)
+	}
+	if got := len(db.Tx(2)); got != 1 { // '?' is missing by default
+		t.Errorf("row 2 items = %d, want 1", got)
+	}
+	names := db.Dict().Names(db.Tx(0))
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	if !found["color=red"] || !found["size=L"] {
+		t.Errorf("row 0 names = %v", names)
+	}
+	// Same value in same column maps to the same item.
+	if db.Tx(0)[0] != db.Tx(1)[0] {
+		id0, _ := db.Dict().Lookup("color=red")
+		if !containsItem(db.Tx(1), id0) {
+			t.Error("color=red not shared between rows")
+		}
+	}
+}
+
+func containsItem(t []dataset.Item, it dataset.Item) bool {
+	for _, x := range t {
+		if x == it {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFromRelationalErrors(t *testing.T) {
+	if _, err := dataset.FromRelational([]string{"a"}, [][]string{{"x", "y"}}, dataset.RelationalOptions{}); err == nil {
+		t.Error("ragged row accepted")
+	}
+	if _, err := dataset.FromRelational([]string{"a"}, nil, dataset.RelationalOptions{SkipColumns: []string{"zzz"}}); err == nil {
+		t.Error("unknown skip column accepted")
+	}
+}
+
+func TestReadCSV(t *testing.T) {
+	in := "color,size\nred,L\nred,M\nblue,L\n"
+	db, err := dataset.ReadCSV(strings.NewReader(in), true, dataset.RelationalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 3 || db.NumItems() != 4 {
+		t.Fatalf("stats: %d tuples, %d items", db.Len(), db.NumItems())
+	}
+
+	// Headerless: synthesized column names.
+	db2, err := dataset.ReadCSV(strings.NewReader("red,L\nblue,M\n"), false, dataset.RelationalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db2.Dict().Lookup("c0=red"); !ok {
+		t.Error("synthesized column names missing")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := dataset.ReadCSV(strings.NewReader(""), true, dataset.RelationalOptions{}); err == nil {
+		t.Error("empty csv accepted")
+	}
+	if _, err := dataset.ReadCSV(strings.NewReader("a,b\nx\n"), true, dataset.RelationalOptions{}); err == nil {
+		t.Error("ragged csv accepted")
+	}
+	if _, err := dataset.ReadCSVFile("/nonexistent.csv", true, dataset.RelationalOptions{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCustomMissingValues(t *testing.T) {
+	db, err := dataset.FromRelational([]string{"a"}, [][]string{{"NA"}, {"x"}},
+		dataset.RelationalOptions{MissingValues: []string{"NA"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Tx(0)) != 0 || len(db.Tx(1)) != 1 {
+		t.Errorf("missing handling: %v %v", db.Tx(0), db.Tx(1))
+	}
+}

@@ -1,0 +1,49 @@
+package eclat
+
+import (
+	"testing"
+
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+	"gogreen/internal/testutil"
+)
+
+func TestPaperExample(t *testing.T) {
+	db := testutil.PaperDB()
+	testutil.CheckAgainstOracle(t, New(), db, 3)
+	testutil.CheckAgainstOracle(t, New(), db, 2)
+	testutil.CheckAgainstOracle(t, New(), db, 1)
+}
+
+func TestCrossCheck(t *testing.T) {
+	testutil.CrossCheck(t, New())
+}
+
+func TestBadMinSupport(t *testing.T) {
+	err := New().Mine(dataset.New(nil), 0, mining.SinkFunc(func([]dataset.Item, int) {}))
+	if err != mining.ErrBadMinSupport {
+		t.Errorf("got %v, want ErrBadMinSupport", err)
+	}
+}
+
+func TestEmptyDB(t *testing.T) {
+	var c mining.Collector
+	if err := New().Mine(dataset.New(nil), 1, &c); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Patterns) != 0 {
+		t.Errorf("got %d patterns from empty db", len(c.Patterns))
+	}
+}
+
+// TestIdenticalTransactions exercises heavy queue sharing: many copies of
+// the same tuple.
+func TestIdenticalTransactions(t *testing.T) {
+	tx := make([][]dataset.Item, 50)
+	for i := range tx {
+		tx[i] = []dataset.Item{1, 3, 5, 7}
+	}
+	db := dataset.New(tx)
+	testutil.CheckAgainstOracle(t, New(), db, 50)
+	testutil.CheckAgainstOracle(t, New(), db, 1)
+}

@@ -1,0 +1,76 @@
+package eclat
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestIntersect checks the tid-list merge against a map-based oracle.
+func TestIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, want []int32
+	}{
+		{nil, nil, nil},
+		{[]int32{1, 2, 3}, nil, nil},
+		{[]int32{1, 2, 3}, []int32{2, 3, 4}, []int32{2, 3}},
+		{[]int32{1, 3, 5}, []int32{2, 4, 6}, nil},
+		{[]int32{7}, []int32{7}, []int32{7}},
+		{[]int32{1, 2, 3, 4, 5}, []int32{5}, []int32{5}},
+	}
+	for _, c := range cases {
+		got := intersect(c.a, c.b)
+		if len(got) != len(c.want) {
+			t.Errorf("intersect(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("intersect(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestIntersectRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for rep := 0; rep < 200; rep++ {
+		a := randomTids(r)
+		b := randomTids(r)
+		got := intersect(a, b)
+		inB := map[int32]bool{}
+		for _, v := range b {
+			inB[v] = true
+		}
+		var want []int32
+		for _, v := range a {
+			if inB[v] {
+				want = append(want, v)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("intersect(%v, %v) = %v, want %v", a, b, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("intersect(%v, %v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func randomTids(r *rand.Rand) []int32 {
+	n := r.Intn(20)
+	seen := map[int32]bool{}
+	var out []int32
+	for len(out) < n {
+		v := int32(r.Intn(40))
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,215 @@
+// Package fptree implements FP-growth (Han, Pei, Yin, SIGMOD'00 — reference
+// [10] of the paper): frequent-pattern mining without candidate generation
+// over a compact prefix tree (the FP-tree), mined by recursive construction
+// of conditional FP-trees, with the single-path shortcut.
+//
+// This is the non-recycling baseline for figures 10, 13, 16, 19, and the base
+// algorithm adapted to compressed databases in internal/rpfptree.
+package fptree
+
+import (
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+)
+
+// Miner is the FP-growth frequent-pattern miner.
+type Miner struct{}
+
+// New returns an FP-growth miner.
+func New() *Miner { return &Miner{} }
+
+// Name implements mining.Miner.
+func (*Miner) Name() string { return "fptree" }
+
+// node is one FP-tree node. Items are stored in rank space; within a branch,
+// parents have strictly higher rank (higher support) than children, i.e.
+// transactions are inserted most-frequent-first as in the original paper.
+type node struct {
+	item     dataset.Item
+	count    int
+	parent   *node
+	children map[dataset.Item]*node
+	next     *node // header chain of nodes carrying the same item
+}
+
+// Tree is an FP-tree plus its header table, exported for reuse by the
+// recycling adaptation.
+type Tree struct {
+	root   *node
+	heads  []*node // header chains indexed by rank-space item
+	counts []int   // per-item support within this (conditional) tree
+	nItems int
+}
+
+// NewTree returns an empty tree over a rank space of n items.
+func NewTree(n int) *Tree {
+	return &Tree{
+		root:   &node{item: -1, children: map[dataset.Item]*node{}},
+		heads:  make([]*node, n),
+		counts: make([]int, n),
+		nItems: n,
+	}
+}
+
+// Insert adds a transaction (rank-encoded, ascending) with the given count.
+// Items are walked in descending rank order so the most frequent items sit
+// near the root, maximizing prefix sharing.
+func (tr *Tree) Insert(t []dataset.Item, count int) {
+	cur := tr.root
+	for i := len(t) - 1; i >= 0; i-- {
+		it := t[i]
+		tr.counts[it] += count
+		child := cur.children[it]
+		if child == nil {
+			child = &node{item: it, children: map[dataset.Item]*node{}, parent: cur}
+			child.next = tr.heads[it]
+			tr.heads[it] = child
+			cur.children[it] = child
+		}
+		child.count += count
+		cur = child
+	}
+}
+
+// singlePath returns the unique root-to-leaf path when the tree has exactly
+// one branch, else nil. The returned items are ordered descending rank
+// (root-first) with their node counts.
+func (tr *Tree) singlePath() ([]dataset.Item, []int) {
+	var items []dataset.Item
+	var counts []int
+	cur := tr.root
+	for {
+		if len(cur.children) == 0 {
+			return items, counts
+		}
+		if len(cur.children) > 1 {
+			return nil, nil
+		}
+		for _, child := range cur.children {
+			cur = child
+		}
+		items = append(items, cur.item)
+		counts = append(counts, cur.count)
+	}
+}
+
+// Mine implements mining.Miner.
+func (*Miner) Mine(db *dataset.DB, minCount int, sink mining.Sink) error {
+	if minCount < 1 {
+		return mining.ErrBadMinSupport
+	}
+	flist := mining.BuildFList(db, minCount)
+	if flist.Len() == 0 {
+		return nil
+	}
+	tree := NewTree(flist.Len())
+	for _, t := range db.All() {
+		enc := flist.Encode(t)
+		if len(enc) > 0 {
+			tree.Insert(enc, 1)
+		}
+	}
+	m := &ctx{flist: flist, min: minCount, sink: sink, decoded: make([]dataset.Item, flist.Len())}
+	m.growth(tree, nil)
+	return nil
+}
+
+type ctx struct {
+	flist   *mining.FList
+	min     int
+	sink    mining.Sink
+	decoded []dataset.Item
+}
+
+func (m *ctx) emit(prefix []dataset.Item, support int) {
+	m.sink.Emit(m.flist.DecodeInto(m.decoded, prefix), support)
+}
+
+// growth mines one (conditional) FP-tree.
+func (m *ctx) growth(tr *Tree, prefix []dataset.Item) {
+	// Single-path shortcut: all combinations of path items, each supported
+	// by the count of its deepest member.
+	if items, counts := tr.singlePath(); items != nil {
+		m.enumeratePath(items, counts, prefix)
+		return
+	}
+	prefix = append(prefix, 0)
+	// Walk header items in ascending rank (= ascending support): leaf-most
+	// items first, as in the original algorithm.
+	for r := 0; r < tr.nItems; r++ {
+		if tr.counts[r] < m.min || tr.heads[r] == nil {
+			continue
+		}
+		it := dataset.Item(r)
+		prefix[len(prefix)-1] = it
+		m.emit(prefix, tr.counts[r])
+
+		// Conditional pattern base: for each node carrying it, its path to
+		// the root with the node's count. Two passes: first count item
+		// supports within the base, then insert paths filtered to the
+		// locally frequent items.
+		condCounts := make([]int, tr.nItems)
+		for n := tr.heads[r]; n != nil; n = n.next {
+			for p := n.parent; p != nil && p.item >= 0; p = p.parent {
+				condCounts[p.item] += n.count
+			}
+		}
+		any := false
+		for _, c := range condCounts {
+			if c >= m.min {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		cond := NewTree(tr.nItems)
+		var path []dataset.Item
+		for n := tr.heads[r]; n != nil; n = n.next {
+			path = path[:0]
+			// Walking parent pointers yields ascending rank order, which is
+			// what Insert expects.
+			for p := n.parent; p != nil && p.item >= 0; p = p.parent {
+				if condCounts[p.item] >= m.min {
+					path = append(path, p.item)
+				}
+			}
+			if len(path) > 0 {
+				cond.Insert(path, n.count)
+			}
+		}
+		m.growth(cond, prefix)
+	}
+}
+
+// enumeratePath emits every non-empty combination of the single path's
+// items appended to prefix. items are root-first (descending rank), counts
+// are the node counts; a combination's support is the count of its
+// deepest-selected node.
+func (m *ctx) enumeratePath(items []dataset.Item, counts []int, prefix []dataset.Item) {
+	n := len(items)
+	if n == 0 {
+		return
+	}
+	if n > 62 {
+		// Combinatorially impossible to enumerate; also cannot occur with
+		// realistic minimum supports. Guard against shift overflow.
+		panic("fptree: single path longer than 62 items")
+	}
+	base := len(prefix)
+	buf := append([]dataset.Item(nil), prefix...)
+	for mask := 1; mask < 1<<n; mask++ {
+		buf = buf[:base]
+		sup := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				buf = append(buf, items[i])
+				sup = counts[i] // deepest selected node's count
+			}
+		}
+		if sup >= m.min {
+			m.emit(buf, sup)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package fptree
+
+import (
+	"testing"
+
+	"gogreen/internal/dataset"
+)
+
+// TestTreeInsertSharing: identical prefixes share nodes, counts accumulate.
+func TestTreeInsertSharing(t *testing.T) {
+	tr := NewTree(5)
+	// Insert expects ascending rank; paths are walked most-frequent-first
+	// (descending), so {1,3} and {2,3} share the node for rank 3.
+	tr.Insert([]dataset.Item{1, 3}, 1)
+	tr.Insert([]dataset.Item{2, 3}, 1)
+	tr.Insert([]dataset.Item{1, 3}, 2)
+
+	if tr.counts[3] != 4 {
+		t.Errorf("counts[3] = %d, want 4", tr.counts[3])
+	}
+	if tr.counts[1] != 3 || tr.counts[2] != 1 {
+		t.Errorf("counts[1]=%d counts[2]=%d", tr.counts[1], tr.counts[2])
+	}
+	// Root has a single child (rank 3), which has two children (1 and 2).
+	if len(tr.root.children) != 1 {
+		t.Fatalf("root children = %d, want 1", len(tr.root.children))
+	}
+	for _, top := range tr.root.children {
+		if top.item != 3 || top.count != 4 {
+			t.Errorf("top node = item %d count %d", top.item, top.count)
+		}
+		if len(top.children) != 2 {
+			t.Errorf("top children = %d, want 2", len(top.children))
+		}
+	}
+}
+
+// TestSinglePathDetection: one branch is a single path, a fork is not.
+func TestSinglePathDetection(t *testing.T) {
+	tr := NewTree(4)
+	tr.Insert([]dataset.Item{0, 1, 2}, 3)
+	items, counts := tr.singlePath()
+	if len(items) != 3 || len(counts) != 3 {
+		t.Fatalf("singlePath = %v %v", items, counts)
+	}
+	// Root-first means descending rank: 2, 1, 0.
+	if items[0] != 2 || items[2] != 0 {
+		t.Errorf("path order = %v", items)
+	}
+
+	tr.Insert([]dataset.Item{0, 3}, 1)
+	if items, _ := tr.singlePath(); items != nil {
+		t.Errorf("fork still detected as single path: %v", items)
+	}
+}
+
+// TestHeaderChains: same-item nodes are linked through next.
+func TestHeaderChains(t *testing.T) {
+	tr := NewTree(4)
+	tr.Insert([]dataset.Item{0, 2}, 1)
+	tr.Insert([]dataset.Item{1, 2}, 1)
+	tr.Insert([]dataset.Item{0, 3}, 1)
+
+	n := 0
+	for node := tr.heads[0]; node != nil; node = node.next {
+		n++
+	}
+	if n != 2 {
+		t.Errorf("item 0 chain length = %d, want 2 (two distinct parents)", n)
+	}
+	if tr.heads[2] == nil || tr.heads[2].next != nil {
+		t.Error("item 2 should have exactly one node")
+	}
+}

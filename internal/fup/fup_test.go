@@ -1,0 +1,104 @@
+package fup_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"gogreen/internal/dataset"
+	"gogreen/internal/fup"
+	"gogreen/internal/mining"
+	"gogreen/internal/testutil"
+)
+
+// combined concatenates two databases.
+func combined(a, b *dataset.DB) *dataset.DB {
+	tx := make([][]dataset.Item, 0, a.Len()+b.Len())
+	tx = append(tx, a.All()...)
+	tx = append(tx, b.All()...)
+	return dataset.New(tx)
+}
+
+func toSet(t *testing.T, ps []mining.Pattern) mining.PatternSet {
+	t.Helper()
+	s := mining.PatternSet{}
+	for _, p := range ps {
+		k := p.Key()
+		if _, dup := s[k]; dup {
+			t.Fatalf("duplicate pattern %v", p.Items)
+		}
+		s[k] = p
+	}
+	return s
+}
+
+// TestUpdateMatchesOracle: FUP's incremental result equals re-mining the
+// combined database, across random originals, increments and thresholds.
+func TestUpdateMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for rep := 0; rep < 20; rep++ {
+		orig := testutil.RandomDB(r, 30+r.Intn(80), 5+r.Intn(10), 1+r.Intn(8))
+		delta := testutil.RandomDB(r, 1+r.Intn(60), 5+r.Intn(10), 1+r.Intn(8))
+		oldMin := 2 + r.Intn(6)
+		oldFP := testutil.Oracle(t, orig, oldMin).Slice()
+
+		// Same or tighter thresholds only (FUP's domain).
+		for _, newMin := range []int{oldMin, oldMin + 1, oldMin + 3} {
+			got, err := fup.Update(orig, oldFP, oldMin, delta, newMin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := testutil.Oracle(t, combined(orig, delta), newMin)
+			if !toSet(t, got).Equal(want) {
+				t.Fatalf("rep %d oldMin=%d newMin=%d:\n%v",
+					rep, oldMin, newMin, toSet(t, got).Diff(want, 10))
+			}
+		}
+	}
+}
+
+// TestEmptyDelta: no increment means a pure re-threshold of the old set.
+func TestEmptyDelta(t *testing.T) {
+	db := testutil.PaperDB()
+	oldFP := testutil.Oracle(t, db, 2).Slice()
+	got, err := fup.Update(db, oldFP, 2, dataset.New(nil), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testutil.Oracle(t, db, 3)
+	if !toSet(t, got).Equal(want) {
+		t.Fatalf("empty delta: %v", toSet(t, got).Diff(want, 10))
+	}
+}
+
+// TestNewItemsInDelta: items unseen in the original database become
+// frequent through the increment.
+func TestNewItemsInDelta(t *testing.T) {
+	orig := dataset.New([][]dataset.Item{{1, 2}, {1, 2}, {1}})
+	delta := dataset.New([][]dataset.Item{{7, 8}, {7, 8}, {7, 8}})
+	oldFP := testutil.Oracle(t, orig, 2).Slice()
+	got, err := fup.Update(orig, oldFP, 2, delta, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := toSet(t, got)
+	if _, ok := set[mining.Key([]dataset.Item{7, 8})]; !ok {
+		t.Errorf("missing new pattern {7,8}: %v", got)
+	}
+	want := testutil.Oracle(t, combined(orig, delta), 3)
+	if !set.Equal(want) {
+		t.Fatalf("%v", set.Diff(want, 10))
+	}
+}
+
+func TestRelaxedThresholdRejected(t *testing.T) {
+	db := testutil.PaperDB()
+	oldFP := testutil.Oracle(t, db, 3).Slice()
+	_, err := fup.Update(db, oldFP, 3, dataset.New(nil), 2)
+	if !errors.Is(err, fup.ErrThresholdRelaxed) {
+		t.Errorf("got %v, want ErrThresholdRelaxed", err)
+	}
+	if _, err := fup.Update(db, oldFP, 0, dataset.New(nil), 2); err != mining.ErrBadMinSupport {
+		t.Errorf("got %v, want ErrBadMinSupport", err)
+	}
+}

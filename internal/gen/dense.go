@@ -1,0 +1,191 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gogreen/internal/dataset"
+)
+
+// Hierarchy is a family of nested attribute sets whose top values co-occur:
+// level k covers the first Sizes[k] attributes of the hierarchy and is
+// "clean" (all top values) with probability Probs[k]. Levels are nested
+// (Sizes increasing, Probs decreasing), so the joint support of any subset
+// of level-k attributes' top values is Probs[k'] for the smallest covering
+// level k' — which makes the frequent-pattern population of the generated
+// data exactly computable (see PatternCountAt). Hierarchies are drawn
+// independently of one another, so cross-hierarchy joints are products.
+type Hierarchy struct {
+	Start int       // first attribute of the hierarchy
+	Sizes []int     // nested level sizes, strictly increasing
+	Probs []float64 // per-level clean probabilities, strictly decreasing
+}
+
+// DenseConfig parameterizes the relational-style dense generator. Each tuple
+// has exactly NumAttrs items, one per attribute; attribute a contributes
+// items with ids in [a*ValuesPerAttr, (a+1)*ValuesPerAttr).
+type DenseConfig struct {
+	NumTx         int
+	NumAttrs      int
+	ValuesPerAttr int
+	// TopProbLo/Hi bound the top-value probability of attributes outside
+	// every hierarchy (drawn uniformly per attribute). Keep TopProbHi below
+	// the support thresholds of interest so these attributes stay noise.
+	TopProbLo, TopProbHi float64
+	// NoiseTop is the top-value probability of a hierarchy attribute whose
+	// covering level is not clean in a tuple. Small values keep level joint
+	// supports close to the configured Probs.
+	NoiseTop    float64
+	Hierarchies []Hierarchy
+	Seed        int64
+}
+
+// Validate reports the first configuration error.
+func (c DenseConfig) Validate() error {
+	switch {
+	case c.NumTx <= 0:
+		return fmt.Errorf("gen: NumTx must be positive, got %d", c.NumTx)
+	case c.NumAttrs <= 0:
+		return fmt.Errorf("gen: NumAttrs must be positive, got %d", c.NumAttrs)
+	case c.ValuesPerAttr < 2:
+		return fmt.Errorf("gen: ValuesPerAttr must be >= 2, got %d", c.ValuesPerAttr)
+	case c.TopProbLo < 0 || c.TopProbHi > 1 || c.TopProbLo > c.TopProbHi:
+		return fmt.Errorf("gen: bad top-prob range [%g, %g]", c.TopProbLo, c.TopProbHi)
+	case c.NoiseTop < 0 || c.NoiseTop > 1:
+		return fmt.Errorf("gen: bad NoiseTop %g", c.NoiseTop)
+	}
+	used := make([]bool, c.NumAttrs)
+	for hi, h := range c.Hierarchies {
+		if len(h.Sizes) == 0 || len(h.Sizes) != len(h.Probs) {
+			return fmt.Errorf("gen: hierarchy %d: sizes/probs mismatch", hi)
+		}
+		for k := range h.Sizes {
+			if h.Sizes[k] <= 0 || (k > 0 && h.Sizes[k] <= h.Sizes[k-1]) {
+				return fmt.Errorf("gen: hierarchy %d: sizes must be increasing", hi)
+			}
+			if h.Probs[k] < 0 || h.Probs[k] > 1 || (k > 0 && h.Probs[k] >= h.Probs[k-1]) {
+				return fmt.Errorf("gen: hierarchy %d: probs must be decreasing in [0,1]", hi)
+			}
+		}
+		span := h.Sizes[len(h.Sizes)-1]
+		if h.Start < 0 || h.Start+span > c.NumAttrs {
+			return fmt.Errorf("gen: hierarchy %d out of range (attrs=%d)", hi, c.NumAttrs)
+		}
+		for a := h.Start; a < h.Start+span; a++ {
+			if used[a] {
+				return fmt.Errorf("gen: hierarchies overlap at attribute %d", a)
+			}
+			used[a] = true
+		}
+	}
+	return nil
+}
+
+// Dense generates a dense fixed-length database. Panics on invalid
+// configuration (presets are compile-time constants; call Validate for
+// dynamic configurations).
+func Dense(cfg DenseConfig) *dataset.DB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	inHier := make([]int, cfg.NumAttrs) // attr -> hierarchy index, -1 if none
+	for a := range inHier {
+		inHier[a] = -1
+	}
+	for hi, h := range cfg.Hierarchies {
+		for a := h.Start; a < h.Start+h.Sizes[len(h.Sizes)-1]; a++ {
+			inHier[a] = hi
+		}
+	}
+	topProb := make([]float64, cfg.NumAttrs)
+	for a := range topProb {
+		topProb[a] = cfg.TopProbLo + r.Float64()*(cfg.TopProbHi-cfg.TopProbLo)
+	}
+
+	item := func(attr, val int) dataset.Item {
+		return dataset.Item(attr*cfg.ValuesPerAttr + val)
+	}
+
+	tx := make([][]dataset.Item, 0, cfg.NumTx)
+	cleanUpTo := make([]int, len(cfg.Hierarchies)) // clean attr count per hierarchy
+	for i := 0; i < cfg.NumTx; i++ {
+		for hi, h := range cfg.Hierarchies {
+			u := r.Float64()
+			depth := 0
+			for k := range h.Probs {
+				if u < h.Probs[k] {
+					depth = h.Sizes[k]
+				} else {
+					break
+				}
+			}
+			cleanUpTo[hi] = h.Start + depth
+		}
+		t := make([]dataset.Item, cfg.NumAttrs)
+		for a := 0; a < cfg.NumAttrs; a++ {
+			switch hi := inHier[a]; {
+			case hi >= 0 && a < cleanUpTo[hi]:
+				t[a] = item(a, 0)
+			case hi >= 0:
+				if r.Float64() < cfg.NoiseTop {
+					t[a] = item(a, 0)
+				} else {
+					t[a] = item(a, 1+r.Intn(cfg.ValuesPerAttr-1))
+				}
+			default:
+				if r.Float64() < topProb[a] {
+					t[a] = item(a, 0)
+				} else {
+					t[a] = item(a, 1+r.Intn(cfg.ValuesPerAttr-1))
+				}
+			}
+		}
+		// Attribute encodings are already sorted and duplicate-free.
+		tx = append(tx, t)
+	}
+	return dataset.New(tx)
+}
+
+// PatternCountAt estimates the number of frequent patterns the configured
+// dense data has at relative support xi, counting only the hierarchy
+// structure (noise attributes contribute nothing when TopProbHi is kept
+// below xi, and NoiseTop corrections are ignored). It enumerates, for every
+// combination of one level (or none) per hierarchy, the subsets whose
+// minimal covering levels are exactly that combination:
+//
+//	count = Σ_{L: Π probs(L) >= xi} Π_h (2^{s_k} − 2^{s_{k−1}})  − 1.
+//
+// Used by preset calibration tests and to size benchmark sweeps; returns a
+// float64 because counts can exceed int ranges in misconfigured setups.
+func PatternCountAt(cfg DenseConfig, xi float64) float64 {
+	var rec func(h int, prob, acc float64) float64
+	rec = func(h int, prob, acc float64) float64 {
+		if h == len(cfg.Hierarchies) {
+			return acc
+		}
+		// Option: skip this hierarchy.
+		sum := rec(h+1, prob, acc)
+		hier := cfg.Hierarchies[h]
+		prev := 0
+		for k := range hier.Sizes {
+			p := prob * hier.Probs[k]
+			if p >= xi {
+				ways := pow2(hier.Sizes[k]) - pow2(prev)
+				sum += rec(h+1, p, acc*ways)
+			}
+			prev = hier.Sizes[k]
+		}
+		return sum
+	}
+	return rec(0, 1.0, 1.0) - 1 // minus the empty choice
+}
+
+func pow2(n int) float64 {
+	v := 1.0
+	for i := 0; i < n; i++ {
+		v *= 2
+	}
+	return v
+}

@@ -1,0 +1,240 @@
+package gen_test
+
+import (
+	"testing"
+
+	"gogreen/internal/gen"
+	"gogreen/internal/hmine"
+	"gogreen/internal/mining"
+)
+
+// testScale keeps calibration tests fast while large enough for the
+// statistical assertions below.
+const testScale = 0.02
+
+func TestWeatherCalibration(t *testing.T) {
+	db := gen.Weather(testScale)
+	st := db.Stats()
+	// Paper: 1,015,367 tuples, avg len 15, 7,959 items (scaled).
+	if st.AvgLen < 13 || st.AvgLen > 19 {
+		t.Errorf("weather avg len = %.1f, want ~15", st.AvgLen)
+	}
+	if st.NumTx != 20307 {
+		t.Errorf("weather tuples = %d, want 20307 at scale 0.02", st.NumTx)
+	}
+	var c mining.Count
+	if err := hmine.New().Mine(db, mining.MinCount(db.Len(), 0.05), &c); err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 1227 patterns, max length 9 at ξ_old = 5%.
+	if c.N < 800 || c.N > 3500 {
+		t.Errorf("weather patterns at 5%% = %d, want ~1200-2000", c.N)
+	}
+	if c.MaxLen != 9 {
+		t.Errorf("weather max pattern length = %d, want 9", c.MaxLen)
+	}
+}
+
+func TestForestCalibration(t *testing.T) {
+	db := gen.Forest(testScale)
+	st := db.Stats()
+	if st.AvgLen < 11 || st.AvgLen > 16 {
+		t.Errorf("forest avg len = %.1f, want ~13", st.AvgLen)
+	}
+	var c mining.Count
+	if err := hmine.New().Mine(db, mining.MinCount(db.Len(), 0.01), &c); err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 523 patterns, max length 4 at ξ_old = 1%.
+	if c.N < 250 || c.N > 1500 {
+		t.Errorf("forest patterns at 1%% = %d, want ~300-1000", c.N)
+	}
+	if c.MaxLen != 4 {
+		t.Errorf("forest max pattern length = %d, want 4", c.MaxLen)
+	}
+}
+
+func TestConnect4Calibration(t *testing.T) {
+	db := gen.Connect4(testScale)
+	st := db.Stats()
+	// Paper: 67,557 tuples, length 43, 130 items.
+	if st.AvgLen != 43 || st.MaxLen != 43 {
+		t.Errorf("connect4 tuple length = %.1f/%d, want 43", st.AvgLen, st.MaxLen)
+	}
+	if st.NumItems > 130 {
+		t.Errorf("connect4 items = %d, want <= 130", st.NumItems)
+	}
+	var c mining.Count
+	if err := hmine.New().Mine(db, mining.MinCount(db.Len(), 0.95), &c); err != nil {
+		t.Fatal(err)
+	}
+	// Predicted exactly by the hierarchy calculator.
+	want := gen.PatternCountAt(gen.Connect4Config(testScale), 0.95)
+	if float64(c.N) < want*0.8 || float64(c.N) > want*1.3 {
+		t.Errorf("connect4 patterns at 95%% = %d, calculator predicts %.0f", c.N, want)
+	}
+	if c.MaxLen != 10 {
+		t.Errorf("connect4 max pattern length = %d, want 10", c.MaxLen)
+	}
+}
+
+func TestPumsbCalibration(t *testing.T) {
+	db := gen.Pumsb(testScale)
+	st := db.Stats()
+	if st.AvgLen != 74 {
+		t.Errorf("pumsb tuple length = %.1f, want 74", st.AvgLen)
+	}
+	var c mining.Count
+	if err := hmine.New().Mine(db, mining.MinCount(db.Len(), 0.90), &c); err != nil {
+		t.Fatal(err)
+	}
+	want := gen.PatternCountAt(gen.PumsbConfig(testScale), 0.90)
+	if float64(c.N) < want*0.7 || float64(c.N) > want*1.4 {
+		t.Errorf("pumsb patterns at 90%% = %d, calculator predicts %.0f", c.N, want)
+	}
+	if c.MaxLen != 10 {
+		t.Errorf("pumsb max pattern length = %d, want 10", c.MaxLen)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := gen.Weather(0.002)
+	b := gen.Weather(0.002)
+	if a.Len() != b.Len() {
+		t.Fatal("nondeterministic length")
+	}
+	for i := 0; i < a.Len(); i++ {
+		ta, tb := a.Tx(i), b.Tx(i)
+		if len(ta) != len(tb) {
+			t.Fatalf("tuple %d lengths differ", i)
+		}
+		for j := range ta {
+			if ta[j] != tb[j] {
+				t.Fatalf("tuple %d differs", i)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range gen.PresetNames() {
+		if gen.ByName(n) == nil {
+			t.Errorf("ByName(%q) = nil", n)
+		}
+	}
+	if gen.ByName("connect-4") == nil {
+		t.Error("alias connect-4")
+	}
+	if gen.ByName("bogus") != nil {
+		t.Error("bogus name")
+	}
+}
+
+func TestSparseValidate(t *testing.T) {
+	valid := gen.SparseConfig{NumTx: 10, NumItems: 100, AvgLen: 5}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []gen.SparseConfig{
+		{NumTx: 0, NumItems: 100, AvgLen: 5},
+		{NumTx: 10, NumItems: 0, AvgLen: 5},
+		{NumTx: 10, NumItems: 100, AvgLen: 0},
+		{NumTx: 10, NumItems: 100, AvgLen: 5, Hot: []gen.HotPattern{{0, 0.5}}},
+		{NumTx: 10, NumItems: 100, AvgLen: 5, Hot: []gen.HotPattern{{3, 1.5}}},
+		{NumTx: 10, NumItems: 100, AvgLen: 5, Hot: []gen.HotPattern{{3, 0.6}, {3, 0.6}}}, // probs > 1
+		{NumTx: 10, NumItems: 4, AvgLen: 5, Hot: []gen.HotPattern{{5, 0.5}}},             // pool too big
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDenseValidate(t *testing.T) {
+	valid := gen.DenseConfig{NumTx: 10, NumAttrs: 5, ValuesPerAttr: 3}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	h := func(hs ...gen.Hierarchy) []gen.Hierarchy { return hs }
+	bad := []gen.DenseConfig{
+		{NumTx: 0, NumAttrs: 5, ValuesPerAttr: 3},
+		{NumTx: 10, NumAttrs: 0, ValuesPerAttr: 3},
+		{NumTx: 10, NumAttrs: 5, ValuesPerAttr: 1},
+		{NumTx: 10, NumAttrs: 5, ValuesPerAttr: 3, TopProbLo: 0.9, TopProbHi: 0.1},
+		{NumTx: 10, NumAttrs: 5, ValuesPerAttr: 3, NoiseTop: 2},
+		{NumTx: 10, NumAttrs: 5, ValuesPerAttr: 3,
+			Hierarchies: h(gen.Hierarchy{Start: 0, Sizes: []int{3}, Probs: []float64{0.9, 0.8}})}, // mismatch
+		{NumTx: 10, NumAttrs: 5, ValuesPerAttr: 3,
+			Hierarchies: h(gen.Hierarchy{Start: 0, Sizes: []int{3, 2}, Probs: []float64{0.9, 0.8}})}, // not increasing
+		{NumTx: 10, NumAttrs: 5, ValuesPerAttr: 3,
+			Hierarchies: h(gen.Hierarchy{Start: 0, Sizes: []int{2, 3}, Probs: []float64{0.8, 0.9}})}, // not decreasing
+		{NumTx: 10, NumAttrs: 5, ValuesPerAttr: 3,
+			Hierarchies: h(gen.Hierarchy{Start: 3, Sizes: []int{4}, Probs: []float64{0.9}})}, // out of range
+		{NumTx: 10, NumAttrs: 8, ValuesPerAttr: 3,
+			Hierarchies: h(
+				gen.Hierarchy{Start: 0, Sizes: []int{4}, Probs: []float64{0.9}},
+				gen.Hierarchy{Start: 2, Sizes: []int{3}, Probs: []float64{0.9}})}, // overlap
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestPatternCountCalculator checks the closed-form count against actual
+// mining on a tiny dense configuration.
+func TestPatternCountCalculator(t *testing.T) {
+	cfg := gen.DenseConfig{
+		NumTx:         6000,
+		NumAttrs:      10,
+		ValuesPerAttr: 3,
+		TopProbLo:     0.1,
+		TopProbHi:     0.3,
+		NoiseTop:      0.05,
+		Hierarchies: []gen.Hierarchy{
+			{Start: 0, Sizes: []int{3, 5}, Probs: []float64{0.9, 0.7}},
+			{Start: 5, Sizes: []int{2, 4}, Probs: []float64{0.85, 0.65}},
+		},
+		Seed: 7,
+	}
+	db := gen.Dense(cfg)
+	for _, xi := range []float64{0.8, 0.75, 0.6} {
+		want := gen.PatternCountAt(cfg, xi)
+		var c mining.Count
+		if err := hmine.New().Mine(db, mining.MinCount(db.Len(), xi), &c); err != nil {
+			t.Fatal(err)
+		}
+		if float64(c.N) < want*0.7 || float64(c.N) > want*1.4 {
+			t.Errorf("xi=%.2f: mined %d patterns, calculator predicts %.0f", xi, c.N, want)
+		}
+	}
+}
+
+// TestSparseCountCalculator checks the hot-pattern count estimate.
+func TestSparseCountCalculator(t *testing.T) {
+	cfg := gen.SparseConfig{
+		NumTx:    8000,
+		NumItems: 500,
+		AvgLen:   8,
+		Hot: []gen.HotPattern{
+			{4, 0.3}, {3, 0.2}, {5, 0.1},
+		},
+		Seed: 7,
+	}
+	db := gen.Sparse(cfg)
+	// At xi=0.15 only the first two hot lattices are active: 15+7 = 22
+	// patterns (background contributes nothing at 15%).
+	want := gen.SparsePatternCountAt(cfg, 0.15)
+	if want != 22 {
+		t.Fatalf("calculator = %.0f, want 22", want)
+	}
+	var c mining.Count
+	if err := hmine.New().Mine(db, mining.MinCount(db.Len(), 0.15), &c); err != nil {
+		t.Fatal(err)
+	}
+	if float64(c.N) < want*0.9 || float64(c.N) > want*1.2 {
+		t.Errorf("mined %d patterns, calculator predicts %.0f", c.N, want)
+	}
+}

@@ -1,0 +1,212 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gogreen/internal/dataset"
+)
+
+// HotPattern describes an itemset injected into sparse data. Per
+// transaction at most one hot pattern is chosen (probabilities across the
+// list must sum to <= 1), so hot-pattern lattices never overlap: a hot
+// pattern of length L and probability p contributes exactly 2^L−1 frequent
+// patterns at any threshold below p and nothing else, which keeps the
+// frequent-pattern population of a preset exactly computable (see
+// SparsePatternCountAt).
+type HotPattern struct {
+	Len  int     // number of items
+	Prob float64 // probability this pattern is the transaction's hot pattern
+}
+
+// SparseConfig parameterizes the Quest-style sparse generator.
+type SparseConfig struct {
+	NumTx    int // transactions to generate
+	NumItems int // item-universe size
+	AvgLen   int // average transaction length (Poisson)
+
+	// Background source patterns (classic Quest machinery).
+	NumSources   int     // number of background source patterns
+	AvgSourceLen float64 // mean source-pattern length (Poisson, min 1)
+	Correlation  float64 // fraction of items shared with the previous source
+	CorruptMean  float64 // mean corruption level (items dropped from a source)
+
+	// Hot patterns drawn over a reserved pool of low item ids.
+	Hot     []HotPattern
+	HotPool int // size of the reserved pool; 0 means ids [0, sum of hot lens)
+
+	Seed int64
+}
+
+// Validate reports the first configuration error.
+func (c SparseConfig) Validate() error {
+	switch {
+	case c.NumTx <= 0:
+		return fmt.Errorf("gen: NumTx must be positive, got %d", c.NumTx)
+	case c.NumItems <= 0:
+		return fmt.Errorf("gen: NumItems must be positive, got %d", c.NumItems)
+	case c.AvgLen <= 0:
+		return fmt.Errorf("gen: AvgLen must be positive, got %d", c.AvgLen)
+	}
+	need := 0
+	totalProb := 0.0
+	for _, h := range c.Hot {
+		if h.Len <= 0 || h.Prob < 0 || h.Prob > 1 {
+			return fmt.Errorf("gen: bad hot pattern %+v", h)
+		}
+		need += h.Len
+		totalProb += h.Prob
+	}
+	if totalProb > 1+1e-9 {
+		return fmt.Errorf("gen: hot pattern probabilities sum to %g > 1", totalProb)
+	}
+	pool := c.HotPool
+	if pool == 0 {
+		pool = need
+	}
+	if pool > c.NumItems {
+		return fmt.Errorf("gen: hot pool %d exceeds item universe %d", pool, c.NumItems)
+	}
+	return nil
+}
+
+// Sparse generates a Quest-style sparse database. It panics on an invalid
+// configuration (configurations are compile-time constants in this repo;
+// use Validate first for dynamic ones).
+func Sparse(cfg SparseConfig) *dataset.DB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	// Materialize hot patterns over disjoint slices of the reserved pool so
+	// their subset lattices do not overlap and pattern counts stay
+	// predictable.
+	next := 0
+	hot := make([][]dataset.Item, len(cfg.Hot))
+	for i, h := range cfg.Hot {
+		p := make([]dataset.Item, h.Len)
+		for j := range p {
+			p[j] = dataset.Item(next)
+			next++
+		}
+		hot[i] = p
+	}
+	poolEnd := next
+	if cfg.HotPool > poolEnd {
+		poolEnd = cfg.HotPool
+	}
+
+	// Background source patterns over the non-reserved universe, generated
+	// with Quest-style correlation to the previous source.
+	sources := make([][]dataset.Item, 0, cfg.NumSources)
+	weights := make([]float64, 0, cfg.NumSources)
+	var prev []dataset.Item
+	totalW := 0.0
+	for i := 0; i < cfg.NumSources; i++ {
+		n := poisson(r, cfg.AvgSourceLen)
+		if n < 1 {
+			n = 1
+		}
+		if n > cfg.NumItems-poolEnd {
+			n = cfg.NumItems - poolEnd
+		}
+		src := make([]dataset.Item, 0, n)
+		if prev != nil && cfg.Correlation > 0 {
+			take := int(cfg.Correlation * float64(n))
+			for j := 0; j < take && j < len(prev); j++ {
+				src = append(src, prev[r.Intn(len(prev))])
+			}
+		}
+		for len(src) < n {
+			src = append(src, dataset.Item(poolEnd+r.Intn(cfg.NumItems-poolEnd)))
+		}
+		src = dataset.Canonical(src)
+		sources = append(sources, src)
+		prev = src
+		w := r.ExpFloat64()
+		weights = append(weights, w)
+		totalW += w
+	}
+	// Cumulative weights for source selection.
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / totalW
+		cum[i] = acc
+	}
+	pickSource := func() []dataset.Item {
+		if len(sources) == 0 {
+			return nil
+		}
+		x := r.Float64()
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return sources[lo]
+	}
+
+	tx := make([][]dataset.Item, 0, cfg.NumTx)
+	buf := make([]dataset.Item, 0, cfg.AvgLen*2)
+	for i := 0; i < cfg.NumTx; i++ {
+		buf = buf[:0]
+		// Hot pattern first: exclusive choice (at most one per transaction).
+		u := r.Float64()
+		for h, p := range hot {
+			if u < cfg.Hot[h].Prob {
+				buf = append(buf, p...)
+				break
+			}
+			u -= cfg.Hot[h].Prob
+		}
+		// Fill to the target size with corrupted background sources.
+		size := poisson(r, float64(cfg.AvgLen))
+		if size < 1 {
+			size = 1
+		}
+		guard := 0
+		for len(buf) < size && guard < 50 {
+			guard++
+			src := pickSource()
+			if src == nil {
+				break
+			}
+			corrupt := cfg.CorruptMean + 0.1*r.NormFloat64()
+			for _, it := range src {
+				if r.Float64() >= corrupt {
+					buf = append(buf, it)
+				}
+				if len(buf) >= size+len(src) { // allow mild overflow, Quest-style
+					break
+				}
+			}
+		}
+		if len(buf) == 0 {
+			buf = append(buf, dataset.Item(poolEnd+r.Intn(cfg.NumItems-poolEnd)))
+		}
+		tx = append(tx, dataset.Canonical(buf))
+	}
+	return dataset.New(tx)
+}
+
+// SparsePatternCountAt estimates the number of frequent patterns the
+// configured sparse data has at relative support xi from the hot-pattern
+// structure alone (background sources and singletons add a threshold-
+// dependent remainder). Because hot patterns are exclusive and drawn over
+// disjoint item pools, the estimate is simply Σ 2^len−1 over hot patterns
+// with Prob >= xi.
+func SparsePatternCountAt(cfg SparseConfig, xi float64) float64 {
+	total := 0.0
+	for _, h := range cfg.Hot {
+		if h.Prob >= xi {
+			total += pow2(h.Len) - 1
+		}
+	}
+	return total
+}

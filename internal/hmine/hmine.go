@@ -1,0 +1,185 @@
+// Package hmine implements H-Mine (Pei, Han et al., ICDM'01 — reference [15]
+// of the paper): frequent-pattern mining over a memory-based hyper-structure
+// (H-struct). Transactions are stored exactly once; projected databases are
+// queues of pointers into the structure, maintained by relinking as mining
+// walks the F-list, so no transaction data is ever copied.
+//
+// This is the non-recycling baseline for figures 9, 12, 15, 18, 21-24, and
+// the base algorithm adapted to compressed databases in internal/rphmine.
+package hmine
+
+import (
+	"sort"
+
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+)
+
+// Miner is the H-Mine frequent-pattern miner.
+type Miner struct{}
+
+// New returns an H-Mine miner.
+func New() *Miner { return &Miner{} }
+
+// Name implements mining.Miner.
+func (*Miner) Name() string { return "hmine" }
+
+// suffix points at the remainder of one transaction inside the H-struct:
+// transaction tx, starting at item index pos.
+type suffix struct {
+	tx  int32
+	pos int32
+}
+
+// Mine implements mining.Miner.
+func (*Miner) Mine(db *dataset.DB, minCount int, sink mining.Sink) error {
+	if minCount < 1 {
+		return mining.ErrBadMinSupport
+	}
+	flist := mining.BuildFList(db, minCount)
+	if flist.Len() == 0 {
+		return nil
+	}
+	// The H-struct: rank-encoded transactions (items sorted by ascending
+	// global support). This is the only copy of the data; everything below
+	// works through suffix pointers.
+	hs := flist.EncodeDB(db)
+
+	return MineProjected(hs, flist, nil, minCount, sink)
+}
+
+// MineProjected mines an already rank-encoded (projected) database whose
+// patterns all extend prefix (in rank space). Used by the memory-limited
+// driver to mine disk partitions with the H-Mine engine.
+func MineProjected(tx [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error {
+	if minCount < 1 {
+		return mining.ErrBadMinSupport
+	}
+	m := &ctx{
+		hs:      tx,
+		flist:   flist,
+		min:     minCount,
+		sink:    sink,
+		decoded: make([]dataset.Item, flist.Len()),
+	}
+	all := make([]suffix, len(tx))
+	for i := range tx {
+		all[i] = suffix{tx: int32(i), pos: 0}
+	}
+	m.mine(all, append([]dataset.Item(nil), prefix...))
+	return nil
+}
+
+type ctx struct {
+	hs      [][]dataset.Item // rank-encoded transactions
+	flist   *mining.FList
+	min     int
+	sink    mining.Sink
+	decoded []dataset.Item // scratch for emitting in item space
+	pool    []*level       // free per-recursion header tables
+}
+
+// level is one recursion's header table: per-item support counts and suffix
+// queues, allocated at F-list width and recycled through ctx.pool so deep
+// recursions do not allocate.
+type level struct {
+	counts  []int
+	queues  [][]suffix
+	touched []dataset.Item
+}
+
+func (m *ctx) getLevel() *level {
+	if n := len(m.pool); n > 0 {
+		l := m.pool[n-1]
+		m.pool = m.pool[:n-1]
+		return l
+	}
+	n := m.flist.Len()
+	return &level{counts: make([]int, n), queues: make([][]suffix, n)}
+}
+
+func (m *ctx) putLevel(l *level) {
+	for _, it := range l.touched {
+		l.counts[it] = 0
+		l.queues[it] = l.queues[it][:0]
+	}
+	l.touched = l.touched[:0]
+	m.pool = append(m.pool, l)
+}
+
+// emit decodes the rank-space pattern and streams it out.
+func (m *ctx) emit(prefix []dataset.Item, support int) {
+	m.sink.Emit(m.flist.DecodeInto(m.decoded, prefix), support)
+}
+
+// mine processes one projected database given as a set of suffixes whose
+// items are all candidate extensions of prefix. It builds a header table
+// (support counts + queues), then walks frequent items in rank order,
+// relinking each queue entry to the entry's next frequent item once the
+// item's own projection is fully mined — the H-Mine traversal.
+func (m *ctx) mine(sufs []suffix, prefix []dataset.Item) {
+	lv := m.getLevel()
+	defer m.putLevel(lv)
+
+	// Header-table pass: count every item occurrence in the projection.
+	for _, s := range sufs {
+		t := m.hs[s.tx]
+		for i := int(s.pos); i < len(t); i++ {
+			it := t[i]
+			if lv.counts[it] == 0 {
+				lv.touched = append(lv.touched, it)
+			}
+			lv.counts[it]++
+		}
+	}
+	sort.Slice(lv.touched, func(i, j int) bool { return lv.touched[i] < lv.touched[j] })
+
+	// Queue each suffix under its first locally-frequent item.
+	enqueue := func(s suffix) {
+		t := m.hs[s.tx]
+		for i := int(s.pos); i < len(t); i++ {
+			if lv.counts[t[i]] >= m.min {
+				s.pos = int32(i)
+				lv.queues[t[i]] = append(lv.queues[t[i]], s)
+				return
+			}
+		}
+	}
+	for _, s := range sufs {
+		enqueue(s)
+	}
+
+	// Walk frequent items in rank order (ascending support). When item r is
+	// reached, its queue holds exactly the r-projected database: every
+	// suffix containing r whose smaller-ranked items have been relinked
+	// past.
+	prefix = append(prefix, 0)
+	for _, r := range lv.touched {
+		q := lv.queues[r]
+		if len(q) == 0 || lv.counts[r] < m.min {
+			continue
+		}
+		prefix[len(prefix)-1] = r
+		m.emit(prefix, lv.counts[r])
+
+		// Recurse into the r-projected database: same suffixes, moved one
+		// item past r.
+		sub := make([]suffix, 0, len(q))
+		for _, s := range q {
+			if int(s.pos)+1 < len(m.hs[s.tx]) {
+				sub = append(sub, suffix{tx: s.tx, pos: s.pos + 1})
+			}
+		}
+		if len(sub) > 0 {
+			m.mine(sub, prefix)
+		}
+
+		// Relink: hand each suffix to its next frequent item's queue so
+		// later items see their full projected databases.
+		for _, s := range q {
+			s.pos++
+			enqueue(s)
+		}
+		lv.queues[r] = lv.queues[r][:0]
+	}
+}

@@ -1,0 +1,157 @@
+package incremental_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"gogreen/internal/dataset"
+	"gogreen/internal/incremental"
+	"gogreen/internal/mining"
+	"gogreen/internal/rphmine"
+	"gogreen/internal/testutil"
+)
+
+func toSet(t *testing.T, ps []mining.Pattern) mining.PatternSet {
+	t.Helper()
+	s := mining.PatternSet{}
+	for _, p := range ps {
+		k := p.Key()
+		if _, dup := s[k]; dup {
+			t.Fatalf("duplicate pattern %v", p.Items)
+		}
+		s[k] = p
+	}
+	return s
+}
+
+// TestInsertRefresh: grow the database and verify every refresh against the
+// oracle on the materialized database.
+func TestInsertRefresh(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	base := testutil.RandomDB(r, 60, 10, 8)
+	m := incremental.New(base, incremental.WithEngine(rphmine.New()))
+
+	res, err := m.Refresh(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recycled {
+		t.Error("first refresh cannot recycle")
+	}
+	if !toSet(t, res.Patterns).Equal(testutil.Oracle(t, base, 4)) {
+		t.Fatal("initial mine wrong")
+	}
+
+	for round := 0; round < 5; round++ {
+		delta := testutil.RandomDB(r, 10+r.Intn(30), 10, 8)
+		m.Insert(delta.All())
+		min := 3 + r.Intn(4)
+		res, err := m.Refresh(min)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Recycled {
+			t.Errorf("round %d: expected recycling", round)
+		}
+		if !toSet(t, res.Patterns).Equal(testutil.Oracle(t, m.DB(), min)) {
+			t.Fatalf("round %d: wrong patterns after insert", round)
+		}
+	}
+}
+
+// TestDeleteRefresh: shrink the database (the case Section 6 notes existing
+// incremental techniques handle awkwardly) and verify exactness.
+func TestDeleteRefresh(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	base := testutil.RandomDB(r, 120, 8, 8)
+	m := incremental.New(base, incremental.WithEngine(rphmine.New()))
+	if _, err := m.Refresh(6); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		var kill []int
+		for i := 0; i < 10; i++ {
+			kill = append(kill, r.Intn(m.Len()-20)+i) // arbitrary-ish distinct
+		}
+		kill = dedupe(kill)
+		if err := m.Delete(kill); err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Refresh(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !toSet(t, res.Patterns).Equal(testutil.Oracle(t, m.DB(), 5)) {
+			t.Fatalf("round %d: wrong patterns after delete", round)
+		}
+	}
+}
+
+// TestMixedChangeWithRelaxedThreshold: big simultaneous change plus a lower
+// threshold — the regime FUP rejects and recycling handles.
+func TestMixedChangeWithRelaxedThreshold(t *testing.T) {
+	r := rand.New(rand.NewSource(63))
+	base := testutil.RandomDB(r, 80, 10, 8)
+	m := incremental.New(base)
+	if _, err := m.Refresh(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}); err != nil {
+		t.Fatal(err)
+	}
+	m.Insert(testutil.RandomDB(r, 90, 10, 8).All()) // more than doubles the data
+	res, err := m.Refresh(3)                        // relaxed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recycled {
+		t.Error("expected recycling")
+	}
+	if !toSet(t, res.Patterns).Equal(testutil.Oracle(t, m.DB(), 3)) {
+		t.Fatal("wrong patterns after mixed change")
+	}
+}
+
+func TestDeleteValidation(t *testing.T) {
+	m := incremental.New(dataset.New([][]dataset.Item{{1}, {2}, {3}}))
+	if err := m.Delete([]int{5}); err == nil {
+		t.Error("out of range accepted")
+	}
+	if err := m.Delete([]int{-1}); err == nil {
+		t.Error("negative accepted")
+	}
+	if err := m.Delete([]int{1, 1}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := m.Delete(nil); err != nil {
+		t.Errorf("empty delete: %v", err)
+	}
+	if err := m.Delete([]int{0, 2}); err != nil || m.Len() != 1 {
+		t.Errorf("delete failed: %v len=%d", err, m.Len())
+	}
+}
+
+func TestRefreshValidation(t *testing.T) {
+	m := incremental.New(dataset.New([][]dataset.Item{{1}}))
+	if _, err := m.Refresh(0); err != mining.ErrBadMinSupport {
+		t.Errorf("got %v", err)
+	}
+	if _, ok := m.Patterns(); ok {
+		t.Error("Patterns before any refresh")
+	}
+	if m.LastMinCount() != 0 {
+		t.Error("LastMinCount before refresh")
+	}
+}
+
+func dedupe(in []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

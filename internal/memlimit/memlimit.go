@@ -1,0 +1,362 @@
+// Package memlimit implements mining under a memory budget (Section 5.3 and
+// Figure 3 lines 1-6 of the paper): when the (compressed) database does not
+// fit in the available memory, it is parallel-projected onto its frequent
+// items — every tuple written to the partition of every frequent item it
+// contains — and each partition is mined recursively, going back to disk
+// again if a partition itself exceeds the budget.
+//
+// Two drivers are provided, matching the paper's figures 21-24: MineCDB for
+// the recycling algorithms (partitions hold projected compressed databases)
+// and MineDB for the H-Mine baseline (partitions hold plain projected
+// databases). Both estimate memory from the same cost model, so the budget
+// comparison is apples-to-apples.
+package memlimit
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gogreen/internal/core"
+	"gogreen/internal/dataset"
+	"gogreen/internal/hmine"
+	"gogreen/internal/mining"
+	"gogreen/internal/rphmine"
+)
+
+// ErrBudgetTooSmall is returned when even a single partition cannot be made
+// to fit the budget (the projection stopped shrinking).
+var ErrBudgetTooSmall = errors.New("memlimit: memory budget too small to mine any partition")
+
+// Config drives a memory-limited mining run.
+type Config struct {
+	// Budget is the in-memory structure budget in bytes (the paper uses
+	// 4 MB and 8 MB).
+	Budget int64
+	// TempDir is the directory for partition spill files; "" means the
+	// system temp dir.
+	TempDir string
+	// Engine selects the leaf miner for compressed partitions: "rp-hmine"
+	// (default) or "rp-naive".
+	Engine string
+}
+
+// bytesPerItem is the in-memory cost of one stored item cell (the item
+// itself plus its share of slice and suffix bookkeeping).
+const bytesPerItem = 8
+
+// tupleOverhead is the per-tuple structure overhead (slice header + suffix
+// pointer entry).
+const tupleOverhead = 32
+
+// EstimateTxBytes models the in-memory footprint of a plain projected
+// database (H-Mine structures over the given suffixes).
+func EstimateTxBytes(tx [][]dataset.Item) int64 {
+	var items int64
+	for _, t := range tx {
+		items += int64(len(t))
+	}
+	return items*bytesPerItem + int64(len(tx))*tupleOverhead
+}
+
+// EstimateCDBBytes models the in-memory footprint of an encoded compressed
+// database (RP-Struct arena, spans, and per-block bookkeeping).
+func EstimateCDBBytes(blocks []core.Block, loose [][]dataset.Item) int64 {
+	var items, tuples int64
+	for i := range blocks {
+		b := &blocks[i]
+		items += int64(len(b.Suffix))
+		tuples++ // block head
+		for _, t := range b.Tails {
+			items += int64(len(t))
+			tuples++
+		}
+	}
+	for _, t := range loose {
+		items += int64(len(t))
+		tuples++
+	}
+	return items*bytesPerItem + tuples*tupleOverhead
+}
+
+// MineCDB mines a compressed database under the memory budget: in memory
+// when it fits, via recursive disk partitioning otherwise.
+func MineCDB(cdb *core.CDB, minCount int, cfg Config, sink mining.Sink) error {
+	if minCount < 1 {
+		return mining.ErrBadMinSupport
+	}
+	flist := cdb.FList(minCount)
+	if flist.Len() == 0 {
+		return nil
+	}
+	blocks, loose := core.EncodeCDB(cdb, flist)
+	d, err := newDriver(cfg)
+	if err != nil {
+		return err
+	}
+	defer d.close()
+	return d.mineCDB(blocks, loose, flist, nil, minCount, sink)
+}
+
+// MineDB mines an uncompressed database under the memory budget with the
+// H-Mine engine — the paper's memory-limited baseline.
+func MineDB(db *dataset.DB, minCount int, cfg Config, sink mining.Sink) error {
+	if minCount < 1 {
+		return mining.ErrBadMinSupport
+	}
+	flist := mining.BuildFList(db, minCount)
+	if flist.Len() == 0 {
+		return nil
+	}
+	tx := flist.EncodeDB(db)
+	d, err := newDriver(cfg)
+	if err != nil {
+		return err
+	}
+	defer d.close()
+	return d.mineDB(tx, flist, nil, minCount, sink)
+}
+
+// driver owns the temp directory and partition numbering of one run.
+type driver struct {
+	cfg  Config
+	dir  string
+	next int
+}
+
+func newDriver(cfg Config) (*driver, error) {
+	dir, err := os.MkdirTemp(cfg.TempDir, "gogreen-memlimit-")
+	if err != nil {
+		return nil, fmt.Errorf("memlimit: %w", err)
+	}
+	return &driver{cfg: cfg, dir: dir}, nil
+}
+
+func (d *driver) close() { os.RemoveAll(d.dir) }
+
+func (d *driver) partPath() string {
+	d.next++
+	return filepath.Join(d.dir, fmt.Sprintf("part-%06d.bin", d.next))
+}
+
+// mineCDB handles one (projected) compressed database.
+func (d *driver) mineCDB(blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error {
+	if EstimateCDBBytes(blocks, loose) <= d.cfg.Budget {
+		if d.cfg.Engine == "rp-naive" {
+			return core.Naive{}.MineEncoded(blocks, loose, flist, prefix, minCount, sink)
+		}
+		return rphmine.Miner{}.MineEncoded(blocks, loose, flist, prefix, minCount, sink)
+	}
+
+	// Over budget: parallel-project to disk, one partition per frequent
+	// item, then recurse into each partition.
+	counts := make(map[dataset.Item]int)
+	for i := range blocks {
+		b := &blocks[i]
+		for _, it := range b.Suffix {
+			counts[it] += b.Count
+		}
+		for _, t := range b.Tails {
+			for _, it := range t {
+				counts[it]++
+			}
+		}
+	}
+	for _, t := range loose {
+		for _, it := range t {
+			counts[it]++
+		}
+	}
+	frequent := frequentItems(counts, minCount)
+	if len(frequent) == 0 {
+		return nil
+	}
+
+	// Each projection strictly shrinks tuples (items <= r drop). If the
+	// whole database is one unsplittable unit the budget cannot be met.
+	if len(frequent) == 1 && EstimateCDBBytes(blocks, loose) > d.cfg.Budget {
+		sub, subLoose := core.Project(blocks, loose, frequent[0])
+		if EstimateCDBBytes(sub, subLoose) >= EstimateCDBBytes(blocks, loose) {
+			return ErrBudgetTooSmall
+		}
+	}
+
+	paths := make(map[dataset.Item]string, len(frequent))
+	writers := make(map[dataset.Item]*partWriter, len(frequent))
+	for _, r := range frequent {
+		p := d.partPath()
+		w, err := newPartWriter(p)
+		if err != nil {
+			return err
+		}
+		paths[r] = p
+		writers[r] = w
+	}
+	// Parallel projection: stream each block and loose tuple into every
+	// partition whose item it contains, projecting straight into the spill
+	// writers (no intermediate slices).
+	for i := range blocks {
+		b := &blocks[i]
+		for _, r := range b.Suffix {
+			if w := writers[r]; w != nil {
+				w.writeProjectedBlock(b, r)
+			}
+		}
+		// Tail-only memberships: bucket member tails by item once, so the
+		// work stays proportional to the spill volume instead of scanning
+		// every tail once per distinct tail item.
+		buckets := map[dataset.Item][]int32{}
+		for ti, t := range b.Tails {
+			for _, r := range t {
+				if writers[r] != nil {
+					buckets[r] = append(buckets[r], int32(ti))
+				}
+			}
+		}
+		for r, members := range buckets {
+			writers[r].writeBucketedBlock(b, r, members)
+		}
+	}
+	for _, t := range loose {
+		for _, r := range t {
+			if w := writers[r]; w != nil {
+				if nt := itemsAfter(t, r); len(nt) > 0 {
+					w.writeTuple(nt)
+				}
+			}
+		}
+	}
+	for _, w := range writers {
+		if err := w.closeFlush(); err != nil {
+			return err
+		}
+	}
+
+	// Emit the partitioning level's own patterns, then recurse per
+	// partition in F-list order.
+	dec := make([]dataset.Item, len(prefix)+1)
+	prefix = append(append([]dataset.Item(nil), prefix...), 0)
+	for _, r := range frequent {
+		prefix[len(prefix)-1] = r
+		sink.Emit(flist.DecodeInto(dec, prefix), counts[r])
+		sub, subLoose, err := readCDBPart(paths[r])
+		if err != nil {
+			return err
+		}
+		os.Remove(paths[r])
+		if len(sub) == 0 && len(subLoose) == 0 {
+			continue
+		}
+		if err := d.mineCDB(sub, subLoose, flist, prefix, minCount, sink); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mineDB handles one (projected) uncompressed database.
+func (d *driver) mineDB(tx [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error {
+	if EstimateTxBytes(tx) <= d.cfg.Budget {
+		return hmine.MineProjected(tx, flist, prefix, minCount, sink)
+	}
+	counts := make(map[dataset.Item]int)
+	for _, t := range tx {
+		for _, it := range t {
+			counts[it]++
+		}
+	}
+	frequent := frequentItems(counts, minCount)
+	if len(frequent) == 0 {
+		return nil
+	}
+	if len(frequent) == 1 {
+		sub := projectTx(tx, frequent[0])
+		if EstimateTxBytes(sub) >= EstimateTxBytes(tx) {
+			return ErrBudgetTooSmall
+		}
+	}
+
+	paths := make(map[dataset.Item]string, len(frequent))
+	writers := make(map[dataset.Item]*partWriter, len(frequent))
+	for _, r := range frequent {
+		p := d.partPath()
+		w, err := newPartWriter(p)
+		if err != nil {
+			return err
+		}
+		paths[r] = p
+		writers[r] = w
+	}
+	for _, t := range tx {
+		for i, r := range t {
+			if w := writers[r]; w != nil && i+1 < len(t) {
+				w.writeTuple(t[i+1:])
+			}
+		}
+	}
+	for _, w := range writers {
+		if err := w.closeFlush(); err != nil {
+			return err
+		}
+	}
+
+	dec := make([]dataset.Item, len(prefix)+1)
+	prefix = append(append([]dataset.Item(nil), prefix...), 0)
+	for _, r := range frequent {
+		prefix[len(prefix)-1] = r
+		sink.Emit(flist.DecodeInto(dec, prefix), counts[r])
+		sub, err := readTxPart(paths[r])
+		if err != nil {
+			return err
+		}
+		os.Remove(paths[r])
+		if len(sub) == 0 {
+			continue
+		}
+		if err := d.mineDB(sub, flist, prefix, minCount, sink); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// projectTx builds the r-projected plain database.
+func projectTx(tx [][]dataset.Item, r dataset.Item) [][]dataset.Item {
+	var out [][]dataset.Item
+	for _, t := range tx {
+		for i, it := range t {
+			if it == r {
+				if i+1 < len(t) {
+					out = append(out, t[i+1:])
+				}
+				break
+			}
+			if it > r {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// frequentItems returns the items with count >= minCount in ascending rank
+// order.
+func frequentItems(counts map[dataset.Item]int, minCount int) []dataset.Item {
+	out := make([]dataset.Item, 0, len(counts))
+	for it, c := range counts {
+		if c >= minCount {
+			out = append(out, it)
+		}
+	}
+	sortItems(out)
+	return out
+}
+
+func sortItems(s []dataset.Item) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package memlimit
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"gogreen/internal/core"
+	"gogreen/internal/dataset"
+)
+
+// Partition spill format: a sequence of varint-encoded records.
+//
+//	tuple record:  tag 0, item count, items
+//	block record:  tag 1, suffix length, suffix items, member count,
+//	               tail count, then per tail: length, items
+//
+// Items are written as deltas within a record (they are sorted), keeping
+// files small. The format is internal to one run; no cross-version
+// stability is promised.
+
+const (
+	tagTuple = 0
+	tagBlock = 1
+)
+
+// ErrCorruptPartition reports a malformed spill file.
+var ErrCorruptPartition = errors.New("memlimit: corrupt partition file")
+
+type partWriter struct {
+	f   *os.File
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+}
+
+func newPartWriter(path string) (*partWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("memlimit: %w", err)
+	}
+	// Small buffers: many partitions may be open at once and the buffers
+	// must not blow the memory budget themselves.
+	return &partWriter{f: f, w: bufio.NewWriterSize(f, 4096)}, nil
+}
+
+func (p *partWriter) uvarint(v uint64) {
+	n := binary.PutUvarint(p.buf[:], v)
+	p.w.Write(p.buf[:n])
+}
+
+func (p *partWriter) items(items []dataset.Item) {
+	p.uvarint(uint64(len(items)))
+	prev := dataset.Item(0)
+	for _, it := range items {
+		p.uvarint(uint64(it - prev))
+		prev = it
+	}
+}
+
+// writeTuple appends one plain tuple record.
+func (p *partWriter) writeTuple(t []dataset.Item) {
+	p.uvarint(tagTuple)
+	p.items(t)
+}
+
+// writeProjectedBlock streams the r-projection of one block where r is a
+// pattern item (Definition 3.2 lifted to blocks: every member qualifies),
+// without materializing intermediate slices. A block whose remaining pattern
+// empties degrades into tuple records. Tail-item projections go through
+// writeBucketedBlock instead.
+func (p *partWriter) writeProjectedBlock(b *core.Block, r dataset.Item) {
+	newSuffix := itemsAfter(b.Suffix, r)
+	if b.Count == 0 {
+		return
+	}
+	if len(newSuffix) == 0 {
+		// Degenerate: members reduce to their tails.
+		for _, t := range b.Tails {
+			if nt := itemsAfter(t, r); len(nt) > 0 {
+				p.writeTuple(nt)
+			}
+		}
+		return
+	}
+
+	// Pass 1: non-empty-tail count; pass 2: the block record.
+	nTails := 0
+	for _, t := range b.Tails {
+		if len(itemsAfter(t, r)) > 0 {
+			nTails++
+		}
+	}
+	p.uvarint(tagBlock)
+	p.items(newSuffix)
+	p.uvarint(uint64(b.Count))
+	p.uvarint(uint64(nTails))
+	for _, t := range b.Tails {
+		if nt := itemsAfter(t, r); len(nt) > 0 {
+			p.items(nt)
+		}
+	}
+}
+
+// writeBucketedBlock streams the r-projection of a block whose qualifying
+// members are already known (tail indexes in members; r is a tail item, not
+// a pattern item). Mirrors writeProjectedBlock's degenerate handling.
+func (p *partWriter) writeBucketedBlock(b *core.Block, r dataset.Item, members []int32) {
+	if len(members) == 0 {
+		return
+	}
+	newSuffix := itemsAfter(b.Suffix, r)
+	if len(newSuffix) == 0 {
+		for _, ti := range members {
+			if nt := itemsAfter(b.Tails[ti], r); len(nt) > 0 {
+				p.writeTuple(nt)
+			}
+		}
+		return
+	}
+	nTails := 0
+	for _, ti := range members {
+		if len(itemsAfter(b.Tails[ti], r)) > 0 {
+			nTails++
+		}
+	}
+	p.uvarint(tagBlock)
+	p.items(newSuffix)
+	p.uvarint(uint64(len(members)))
+	p.uvarint(uint64(nTails))
+	for _, ti := range members {
+		if nt := itemsAfter(b.Tails[ti], r); len(nt) > 0 {
+			p.items(nt)
+		}
+	}
+}
+
+// itemsAfter returns the subslice of sorted s strictly greater than r
+// (shared backing array, no allocation).
+func itemsAfter(s []dataset.Item, r dataset.Item) []dataset.Item {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] <= r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return s[lo:]
+}
+
+func (p *partWriter) closeFlush() error {
+	if err := p.w.Flush(); err != nil {
+		p.f.Close()
+		return fmt.Errorf("memlimit: flush: %w", err)
+	}
+	if err := p.f.Close(); err != nil {
+		return fmt.Errorf("memlimit: close: %w", err)
+	}
+	return nil
+}
+
+type partReader struct {
+	r *bufio.Reader
+}
+
+func (p *partReader) uvarint() (uint64, error) {
+	return binary.ReadUvarint(p.r)
+}
+
+func (p *partReader) items() ([]dataset.Item, error) {
+	n, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<24 {
+		return nil, ErrCorruptPartition
+	}
+	out := make([]dataset.Item, n)
+	prev := uint64(0)
+	for i := range out {
+		d, err := p.uvarint()
+		if err != nil {
+			return nil, errTruncated(err)
+		}
+		prev += d
+		if prev > 1<<31 {
+			return nil, ErrCorruptPartition
+		}
+		out[i] = dataset.Item(prev)
+	}
+	return out, nil
+}
+
+func errTruncated(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return ErrCorruptPartition
+	}
+	return err
+}
+
+// readTxPart loads a plain-tuple partition.
+func readTxPart(path string) ([][]dataset.Item, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("memlimit: %w", err)
+	}
+	defer f.Close()
+	p := &partReader{r: bufio.NewReaderSize(f, 1<<16)}
+	var out [][]dataset.Item
+	for {
+		tag, err := p.uvarint()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, errTruncated(err)
+		}
+		if tag != tagTuple {
+			return nil, ErrCorruptPartition
+		}
+		t, err := p.items()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+}
+
+// readCDBPart loads a compressed partition.
+func readCDBPart(path string) ([]core.Block, [][]dataset.Item, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("memlimit: %w", err)
+	}
+	defer f.Close()
+	p := &partReader{r: bufio.NewReaderSize(f, 1<<16)}
+	var blocks []core.Block
+	var loose [][]dataset.Item
+	for {
+		tag, err := p.uvarint()
+		if err == io.EOF {
+			return blocks, loose, nil
+		}
+		if err != nil {
+			return nil, nil, errTruncated(err)
+		}
+		switch tag {
+		case tagTuple:
+			t, err := p.items()
+			if err != nil {
+				return nil, nil, err
+			}
+			loose = append(loose, t)
+		case tagBlock:
+			suffix, err := p.items()
+			if err != nil {
+				return nil, nil, err
+			}
+			count, err := p.uvarint()
+			if err != nil {
+				return nil, nil, errTruncated(err)
+			}
+			nTails, err := p.uvarint()
+			if err != nil {
+				return nil, nil, errTruncated(err)
+			}
+			if nTails > count || count > 1<<40 {
+				return nil, nil, ErrCorruptPartition
+			}
+			b := core.Block{Suffix: suffix, Count: int(count)}
+			for i := uint64(0); i < nTails; i++ {
+				t, err := p.items()
+				if err != nil {
+					return nil, nil, err
+				}
+				b.Tails = append(b.Tails, t)
+			}
+			blocks = append(blocks, b)
+		default:
+			return nil, nil, ErrCorruptPartition
+		}
+	}
+}

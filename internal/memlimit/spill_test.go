@@ -1,0 +1,105 @@
+package memlimit
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gogreen/internal/core"
+	"gogreen/internal/dataset"
+)
+
+// TestSpillRoundTrip writes blocks and tuples and reads them back.
+func TestSpillRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "part.bin")
+	w, err := newPartWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := core.Block{
+		Suffix: []dataset.Item{2, 5, 9},
+		Count:  4,
+		Tails:  [][]dataset.Item{{1, 3}, {4}, {6, 7, 8}},
+	}
+	// Projection on suffix item 2: suffix {5,9}, all four members.
+	w.writeProjectedBlock(&b, 2)
+	// Projection on tail item 3: one member ({1,3} -> tail {} after 3).
+	w.writeBucketedBlock(&b, 3, []int32{0})
+	w.writeTuple([]dataset.Item{10, 20})
+	if err := w.closeFlush(); err != nil {
+		t.Fatal(err)
+	}
+
+	blocks, loose, err := readCDBPart(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 || len(loose) != 1 {
+		t.Fatalf("got %d blocks, %d loose", len(blocks), len(loose))
+	}
+	if blocks[0].Count != 4 || len(blocks[0].Suffix) != 2 || len(blocks[0].Tails) != 3 {
+		t.Errorf("block 0 = %+v", blocks[0])
+	}
+	if blocks[1].Count != 1 || len(blocks[1].Tails) != 0 {
+		t.Errorf("block 1 = %+v", blocks[1])
+	}
+	if loose[0][0] != 10 || loose[0][1] != 20 {
+		t.Errorf("loose = %v", loose)
+	}
+}
+
+// TestSpillDegenerateBlock: projecting past the last pattern item writes
+// tuple records instead of a block.
+func TestSpillDegenerateBlock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "part.bin")
+	w, err := newPartWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := core.Block{Suffix: []dataset.Item{2}, Count: 2, Tails: [][]dataset.Item{{5, 6}, {1}}}
+	w.writeProjectedBlock(&b, 2) // suffix empties
+	if err := w.closeFlush(); err != nil {
+		t.Fatal(err)
+	}
+	blocks, loose, err := readCDBPart(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tail {1} empties after item 2; only {5,6} survives.
+	if len(blocks) != 0 || len(loose) != 1 || len(loose[0]) != 2 {
+		t.Fatalf("blocks=%v loose=%v", blocks, loose)
+	}
+}
+
+// TestSpillCorruption: truncated and garbage files surface
+// ErrCorruptPartition rather than bad data or panics.
+func TestSpillCorruption(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"bad tag", []byte{7}},
+		{"truncated tuple", []byte{0, 3, 1}},
+		{"truncated block", []byte{1, 2, 1, 1}},
+		{"huge count", []byte{0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(dir, c.name)
+			if err := os.WriteFile(path, c.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := readCDBPart(path); !errors.Is(err, ErrCorruptPartition) {
+				t.Errorf("readCDBPart: err = %v, want ErrCorruptPartition", err)
+			}
+			if _, err := readTxPart(path); !errors.Is(err, ErrCorruptPartition) {
+				t.Errorf("readTxPart: err = %v, want ErrCorruptPartition", err)
+			}
+		})
+	}
+	if _, _, err := readCDBPart(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file should error")
+	}
+}

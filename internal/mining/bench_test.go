@@ -1,0 +1,60 @@
+package mining_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+)
+
+func benchCounts() []int {
+	r := rand.New(rand.NewSource(3))
+	counts := make([]int, 5000)
+	for i := range counts {
+		counts[i] = r.Intn(1000)
+	}
+	return counts
+}
+
+func BenchmarkNewFList(b *testing.B) {
+	counts := benchCounts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mining.NewFList(counts, 100)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	f := mining.NewFList(benchCounts(), 100)
+	r := rand.New(rand.NewSource(5))
+	t := make([]dataset.Item, 40)
+	for i := range t {
+		t[i] = dataset.Item(r.Intn(5000))
+	}
+	t = dataset.Canonical(t)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Encode(t)
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	items := []dataset.Item{3, 14, 159, 2653, 58979}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mining.Key(items)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	t := make([]dataset.Item, 60)
+	for i := range t {
+		t[i] = dataset.Item(i * 3)
+	}
+	p := []dataset.Item{9, 60, 120, 177}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dataset.Contains(t, p)
+	}
+}

@@ -1,0 +1,224 @@
+// Package mining holds the vocabulary shared by every frequent-pattern miner
+// in this repository: patterns, frequent lists (F-lists, Definition 3.1 of
+// the paper), output sinks, and the Miner interface implemented by the
+// baseline and recycling algorithms.
+package mining
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gogreen/internal/dataset"
+)
+
+// Pattern is a frequent itemset with its support (absolute tuple count).
+// Items are sorted ascending by id.
+type Pattern struct {
+	Items   []dataset.Item
+	Support int
+}
+
+// Key returns a canonical map key for the pattern's item set.
+func (p Pattern) Key() string { return Key(p.Items) }
+
+// String renders the pattern as "{i1 i2 ...}:support".
+func (p Pattern) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, it := range p.Items {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", it)
+	}
+	fmt.Fprintf(&b, "}:%d", p.Support)
+	return b.String()
+}
+
+// Key builds a canonical key for an item set. The items need not be sorted;
+// they are canonicalized first.
+func Key(items []dataset.Item) string {
+	c := dataset.Canonical(items)
+	buf := make([]byte, 0, 8*len(c))
+	for i, it := range c {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(it), 10)
+	}
+	return string(buf)
+}
+
+// ErrBadMinSupport is returned when a miner is invoked with a non-positive
+// absolute minimum support.
+var ErrBadMinSupport = errors.New("mining: minimum support must be >= 1")
+
+// MinCount converts a relative minimum-support threshold (fraction of the
+// database, e.g. 0.05 for 5%) into an absolute tuple count, matching the
+// paper's convention that a pattern is frequent when sup(X) >= ξ·|DB|.
+// The result is never below 1.
+func MinCount(numTx int, frac float64) int {
+	c := int(math.Ceil(frac * float64(numTx)))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Miner is a frequent-pattern mining algorithm over an uncompressed database.
+// Implementations stream every frequent pattern (support >= minCount) exactly
+// once into sink. The empty pattern is never emitted.
+type Miner interface {
+	// Name identifies the algorithm (e.g. "hmine").
+	Name() string
+	// Mine finds all frequent patterns of db at absolute support minCount.
+	Mine(db *dataset.DB, minCount int, sink Sink) error
+}
+
+// Sink consumes mined patterns. Emit is called with items sorted by the
+// miner's internal order; the slice is only valid during the call and must be
+// copied if retained.
+type Sink interface {
+	Emit(items []dataset.Item, support int)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(items []dataset.Item, support int)
+
+// Emit calls f.
+func (f SinkFunc) Emit(items []dataset.Item, support int) { f(items, support) }
+
+// Collector accumulates patterns for inspection and testing.
+type Collector struct {
+	Patterns []Pattern
+}
+
+// Emit appends a copy of the pattern.
+func (c *Collector) Emit(items []dataset.Item, support int) {
+	cp := make([]dataset.Item, len(items))
+	copy(cp, items)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	c.Patterns = append(c.Patterns, Pattern{Items: cp, Support: support})
+}
+
+// Sort orders collected patterns canonically: by length, then item ids.
+func (c *Collector) Sort() {
+	sort.Slice(c.Patterns, func(i, j int) bool {
+		a, b := c.Patterns[i].Items, c.Patterns[j].Items
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// Set converts the collected patterns into a PatternSet. Duplicate emissions
+// of the same item set are an error surfaced by Set, since a correct miner
+// emits each pattern exactly once.
+func (c *Collector) Set() (PatternSet, error) {
+	s := make(PatternSet, len(c.Patterns))
+	for _, p := range c.Patterns {
+		k := p.Key()
+		if _, dup := s[k]; dup {
+			return nil, fmt.Errorf("mining: pattern %v emitted twice", p.Items)
+		}
+		s[k] = p
+	}
+	return s, nil
+}
+
+// Count is a Sink that only counts emissions, for benchmarks that want to
+// exclude materialization cost (the paper excludes output time, §5.2).
+type Count struct {
+	N int
+	// MaxLen tracks the longest pattern seen (Table 3's "maximal length").
+	MaxLen int
+}
+
+// Emit increments the counter.
+func (c *Count) Emit(items []dataset.Item, _ int) {
+	c.N++
+	if len(items) > c.MaxLen {
+		c.MaxLen = len(items)
+	}
+}
+
+// PatternSet indexes patterns by canonical key.
+type PatternSet map[string]Pattern
+
+// Slice returns the patterns in canonical order.
+func (s PatternSet) Slice() []Pattern {
+	out := make([]Pattern, 0, len(s))
+	for _, p := range s {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Items, out[j].Items
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Equal reports whether two pattern sets contain exactly the same patterns
+// with the same supports.
+func (s PatternSet) Equal(o PatternSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k, p := range s {
+		q, ok := o[k]
+		if !ok || q.Support != p.Support {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns human-readable discrepancies between s (got) and o (want),
+// abbreviated to at most max entries. Empty when equal.
+func (s PatternSet) Diff(o PatternSet, max int) []string {
+	var out []string
+	add := func(msg string) bool {
+		if len(out) < max {
+			out = append(out, msg)
+		}
+		return len(out) < max
+	}
+	for k, p := range s {
+		q, ok := o[k]
+		if !ok {
+			if !add(fmt.Sprintf("extra %v:%d", p.Items, p.Support)) {
+				return out
+			}
+		} else if q.Support != p.Support {
+			if !add(fmt.Sprintf("support %v: got %d want %d", p.Items, p.Support, q.Support)) {
+				return out
+			}
+		}
+	}
+	for k, q := range o {
+		if _, ok := s[k]; !ok {
+			if !add(fmt.Sprintf("missing %v:%d", q.Items, q.Support)) {
+				return out
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package mining_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+)
+
+func TestMinCount(t *testing.T) {
+	cases := []struct {
+		n    int
+		frac float64
+		want int
+	}{
+		{100, 0.05, 5},
+		{100, 0.051, 6}, // ceil
+		{1000, 0.0001, 1},
+		{10, 0, 1}, // floor at 1
+		{5, 1.0, 5},
+	}
+	for _, c := range cases {
+		if got := mining.MinCount(c.n, c.frac); got != c.want {
+			t.Errorf("MinCount(%d, %g) = %d, want %d", c.n, c.frac, got, c.want)
+		}
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	a := mining.Key([]dataset.Item{3, 1, 2})
+	b := mining.Key([]dataset.Item{2, 3, 1, 1})
+	if a != b || a != "1,2,3" {
+		t.Errorf("keys %q vs %q", a, b)
+	}
+	if mining.Key(nil) != "" {
+		t.Error("empty key")
+	}
+}
+
+// TestKeyInjective: distinct canonical item sets give distinct keys.
+func TestKeyInjective(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		ia := make([]dataset.Item, len(a))
+		for i, v := range a {
+			ia[i] = dataset.Item(v)
+		}
+		ib := make([]dataset.Item, len(b))
+		for i, v := range b {
+			ib[i] = dataset.Item(v)
+		}
+		ca, cb := dataset.Canonical(ia), dataset.Canonical(ib)
+		same := len(ca) == len(cb)
+		if same {
+			for i := range ca {
+				if ca[i] != cb[i] {
+					same = false
+					break
+				}
+			}
+		}
+		return same == (mining.Key(ia) == mining.Key(ib))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectorDuplicateDetection(t *testing.T) {
+	var c mining.Collector
+	c.Emit([]dataset.Item{1, 2}, 3)
+	c.Emit([]dataset.Item{2, 1}, 3) // same set, different order
+	if _, err := c.Set(); err == nil {
+		t.Fatal("Set should reject duplicate emissions")
+	}
+}
+
+func TestCollectorCopiesAndSorts(t *testing.T) {
+	var c mining.Collector
+	buf := []dataset.Item{5, 3}
+	c.Emit(buf, 2)
+	buf[0] = 99 // mutation after Emit must not affect the collected pattern
+	if c.Patterns[0].Items[0] != 3 || c.Patterns[0].Items[1] != 5 {
+		t.Errorf("collected %v", c.Patterns[0].Items)
+	}
+
+	c.Emit([]dataset.Item{1}, 9)
+	c.Sort()
+	if len(c.Patterns[0].Items) != 1 {
+		t.Error("Sort should order by length first")
+	}
+}
+
+func TestPatternSetEqualAndDiff(t *testing.T) {
+	mk := func(ps ...mining.Pattern) mining.PatternSet {
+		s := mining.PatternSet{}
+		for _, p := range ps {
+			s[p.Key()] = p
+		}
+		return s
+	}
+	a := mk(mining.Pattern{Items: []dataset.Item{1}, Support: 3},
+		mining.Pattern{Items: []dataset.Item{1, 2}, Support: 2})
+	b := mk(mining.Pattern{Items: []dataset.Item{1}, Support: 3},
+		mining.Pattern{Items: []dataset.Item{1, 2}, Support: 2})
+	if !a.Equal(b) {
+		t.Error("equal sets not equal")
+	}
+	c := mk(mining.Pattern{Items: []dataset.Item{1}, Support: 4},
+		mining.Pattern{Items: []dataset.Item{3}, Support: 1})
+	if a.Equal(c) {
+		t.Error("different sets equal")
+	}
+	diffs := a.Diff(c, 10)
+	if len(diffs) != 3 { // support mismatch on {1}, extra {1,2}, missing {3}
+		t.Errorf("diffs = %v", diffs)
+	}
+	if len(a.Diff(c, 1)) != 1 {
+		t.Error("diff truncation")
+	}
+
+	slice := a.Slice()
+	if len(slice) != 2 || len(slice[0].Items) != 1 {
+		t.Errorf("Slice = %v", slice)
+	}
+}
+
+func TestCountSink(t *testing.T) {
+	var c mining.Count
+	c.Emit([]dataset.Item{1, 2, 3}, 5)
+	c.Emit([]dataset.Item{1}, 9)
+	if c.N != 2 || c.MaxLen != 3 {
+		t.Errorf("count = %+v", c)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := mining.Pattern{Items: []dataset.Item{1, 2}, Support: 7}
+	if p.String() != "{1 2}:7" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestFList(t *testing.T) {
+	// counts: item0:5, item1:2, item2:0, item3:2, item4:9
+	f := mining.NewFList([]int{5, 2, 0, 3, 9}, 2)
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	// Ascending support: 1(2), 3(3), 0(5), 4(9).
+	want := []dataset.Item{1, 3, 0, 4}
+	for i, it := range want {
+		if f.Items[i] != it {
+			t.Fatalf("Items = %v, want %v", f.Items, want)
+		}
+	}
+	if f.Rank(2) != -1 || f.Rank(99) != -1 || f.Rank(-1) != -1 {
+		t.Error("infrequent/out-of-range ranks")
+	}
+	if !f.Frequent(0) || f.Frequent(2) {
+		t.Error("Frequent")
+	}
+
+	enc := f.Encode([]dataset.Item{0, 1, 2, 4})
+	// 0->rank2, 1->rank0, 2 dropped, 4->rank3; sorted: [0,2,3]
+	if len(enc) != 3 || enc[0] != 0 || enc[1] != 2 || enc[2] != 3 {
+		t.Errorf("Encode = %v", enc)
+	}
+	dec := f.Decode(enc)
+	if dec[0] != 1 || dec[1] != 0 || dec[2] != 4 {
+		t.Errorf("Decode = %v", dec)
+	}
+	dst := make([]dataset.Item, 3)
+	dec2 := f.DecodeInto(dst, enc)
+	if &dec2[0] != &dst[0] || dec2[2] != 4 {
+		t.Error("DecodeInto should reuse dst")
+	}
+}
+
+// TestFListTieBreak: equal supports order by item id.
+func TestFListTieBreak(t *testing.T) {
+	f := mining.NewFList([]int{3, 3, 3}, 1)
+	if f.Items[0] != 0 || f.Items[1] != 1 || f.Items[2] != 2 {
+		t.Errorf("tie break: %v", f.Items)
+	}
+}
+
+// TestFListProperties: rank/decode are mutually inverse; encoding drops
+// exactly the infrequent items.
+func TestFListProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for rep := 0; rep < 100; rep++ {
+		n := 1 + r.Intn(30)
+		counts := make([]int, n)
+		for i := range counts {
+			counts[i] = r.Intn(10)
+		}
+		min := 1 + r.Intn(5)
+		f := mining.NewFList(counts, min)
+		for k, it := range f.Items {
+			if f.Rank(it) != k {
+				t.Fatalf("rank/items inconsistent at %d", k)
+			}
+			if counts[it] < min {
+				t.Fatalf("infrequent item %d on F-list", it)
+			}
+			if k > 0 && f.Support[k] < f.Support[k-1] {
+				t.Fatal("supports not ascending")
+			}
+		}
+		nFreq := 0
+		for _, c := range counts {
+			if c >= min {
+				nFreq++
+			}
+		}
+		if f.Len() != nFreq {
+			t.Fatalf("Len = %d, want %d", f.Len(), nFreq)
+		}
+	}
+}
+
+func TestEncodeDBDropsEmpty(t *testing.T) {
+	db := dataset.New([][]dataset.Item{{0, 1}, {2}, {0}})
+	f := mining.BuildFList(db, 2) // only item 0 frequent
+	enc := f.EncodeDB(db)
+	if len(enc) != 2 {
+		t.Fatalf("EncodeDB kept %d tuples, want 2", len(enc))
+	}
+}

@@ -1,0 +1,38 @@
+package patternio_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gogreen/internal/patternio"
+)
+
+// FuzzRead: arbitrary input never panics; accepted input survives a
+// write/read round trip unchanged.
+func FuzzRead(f *testing.F) {
+	f.Add("# gogreen patterns v1\n1,2:3\n")
+	f.Add("# gogreen patterns v1\n# minsupport 4\n9:4\n")
+	f.Add("")
+	f.Add("# gogreen patterns v1\n")
+	f.Add("# gogreen patterns v1\n1,1:2\n")
+	f.Add("# gogreen patterns v1\n-1:2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		set, err := patternio.Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := patternio.Write(&buf, set); err != nil {
+			t.Fatalf("write of accepted set: %v", err)
+		}
+		back, err := patternio.Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read of own output: %v", err)
+		}
+		if len(back.Patterns) != len(set.Patterns) || back.MinSupport != set.MinSupport {
+			t.Fatalf("round trip changed set: %d/%d patterns, minsup %d/%d",
+				len(back.Patterns), len(set.Patterns), back.MinSupport, set.MinSupport)
+		}
+	})
+}

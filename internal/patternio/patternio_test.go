@@ -1,0 +1,130 @@
+package patternio_test
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+	"gogreen/internal/patternio"
+	"gogreen/internal/testutil"
+)
+
+func TestRoundTrip(t *testing.T) {
+	db := testutil.PaperDB()
+	fp := testutil.Oracle(t, db, 2).Slice()
+	in := patternio.Set{Patterns: fp, MinSupport: 2}
+
+	var buf bytes.Buffer
+	if err := patternio.Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := patternio.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MinSupport != 2 {
+		t.Errorf("minsupport = %d, want 2", out.MinSupport)
+	}
+	if len(out.Patterns) != len(in.Patterns) {
+		t.Fatalf("pattern count %d != %d", len(out.Patterns), len(in.Patterns))
+	}
+	want := mining.PatternSet{}
+	for _, p := range in.Patterns {
+		want[p.Key()] = p
+	}
+	for _, p := range out.Patterns {
+		q, ok := want[p.Key()]
+		if !ok || q.Support != p.Support {
+			t.Errorf("pattern %v:%d not preserved", p.Items, p.Support)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "patterns.txt")
+	in := patternio.Set{
+		Patterns: []mining.Pattern{
+			{Items: []dataset.Item{1, 5, 9}, Support: 7},
+			{Items: []dataset.Item{2}, Support: 11},
+		},
+		MinSupport: 5,
+	}
+	if err := patternio.WriteFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := patternio.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Patterns) != 2 || out.MinSupport != 5 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestReadMissingFile(t *testing.T) {
+	if _, err := patternio.ReadFile(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestCorruptInputs exercises every rejection path.
+func TestCorruptInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"empty", ""},
+		{"no header", "1,2:3\n"},
+		{"wrong magic", "# other format\n1:2\n"},
+		{"missing support", "# gogreen patterns v1\n1,2\n"},
+		{"bad support", "# gogreen patterns v1\n1,2:x\n"},
+		{"zero support", "# gogreen patterns v1\n1,2:0\n"},
+		{"negative item", "# gogreen patterns v1\n-4:2\n"},
+		{"bad item", "# gogreen patterns v1\n1,zap:2\n"},
+		{"duplicate items", "# gogreen patterns v1\n3,3:2\n"},
+		{"bad minsupport", "# gogreen patterns v1\n# minsupport nope\n"},
+		{"huge item", "# gogreen patterns v1\n99999999999999:2\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := patternio.Read(strings.NewReader(c.data))
+			if !errors.Is(err, patternio.ErrBadFormat) {
+				t.Errorf("Read(%q) err = %v, want ErrBadFormat", c.data, err)
+			}
+		})
+	}
+}
+
+func TestWriteRejectsEmptyPattern(t *testing.T) {
+	err := patternio.Write(&bytes.Buffer{}, patternio.Set{Patterns: []mining.Pattern{{Support: 3}}})
+	if !errors.Is(err, patternio.ErrBadFormat) {
+		t.Errorf("got %v, want ErrBadFormat", err)
+	}
+}
+
+// TestItemsCanonicalized: unsorted input lines load canonically.
+func TestItemsCanonicalized(t *testing.T) {
+	s, err := patternio.Read(strings.NewReader("# gogreen patterns v1\n9,1,5:4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []dataset.Item{1, 5, 9}
+	if len(s.Patterns) != 1 || mining.Key(s.Patterns[0].Items) != mining.Key(want) {
+		t.Fatalf("got %+v", s.Patterns)
+	}
+}
+
+// TestBlankAndCommentLines are tolerated.
+func TestBlankAndCommentLines(t *testing.T) {
+	s, err := patternio.Read(strings.NewReader("# gogreen patterns v1\n\n# a comment\n1:2\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Patterns) != 1 {
+		t.Fatalf("got %d patterns", len(s.Patterns))
+	}
+}

@@ -1,0 +1,479 @@
+// Package rpfptree adapts FP-growth to compressed databases — the paper's
+// Recycle-FP (Section 4.2).
+//
+// Each compressed group head is treated as a special item placed at the top
+// of its prefix-tree branch: a member tuple is inserted as the group's
+// special node followed by the member's outlying items (descending support
+// order), so the group pattern is stored once per branch and never expanded
+// in the tree. Loose tuples are inserted as ordinary paths.
+//
+// Mining is FP-growth with two extensions:
+//
+//   - An item's support and conditional pattern base draw from two sources:
+//     its physical nodes (reached via item-links) and the group-head nodes
+//     whose pattern contains the item (reached via per-group links). For the
+//     latter, every tuple in the group-head's subtree is in the projection;
+//     the subtree is decomposed into residual-count paths.
+//   - Conditional trees are again compressed trees: the restriction of a
+//     group pattern to the items after the conditioning item becomes a group
+//     of the conditional tree (instances with equal restricted patterns
+//     merge), so compression survives the recursion.
+//
+// A conditional tree that consists of one special node with no children is
+// finished by combination enumeration (Lemma 3.1); a pure-real single path
+// uses the classic FP-growth single-path shortcut.
+package rpfptree
+
+import (
+	"gogreen/internal/core"
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+)
+
+// Miner mines compressed databases with the Recycle-FP algorithm.
+type Miner struct{}
+
+// New returns a Recycle-FP engine.
+func New() Miner { return Miner{} }
+
+// Name implements core.CDBMiner.
+func (Miner) Name() string { return "rp-fptree" }
+
+// node is one tree node. group >= 0 marks a special group-head node (item
+// is then unused); parents of real nodes carry strictly higher rank or are
+// special/root.
+type node struct {
+	item     dataset.Item // real item (rank space), valid when group < 0
+	group    int32        // group index within the owning tree, or -1
+	count    int
+	parent   *node
+	children map[int64]*node // key: child key (special or real)
+	next     *node           // chain of same-item or same-group nodes
+}
+
+// childKey distinguishes special children from real ones in one map.
+func childKey(group int32, item dataset.Item) int64 {
+	if group >= 0 {
+		return -int64(group) - 1
+	}
+	return int64(item)
+}
+
+// tree is a compressed FP-tree: real-item header chains plus per-group
+// patterns and head chains.
+type tree struct {
+	root       *node
+	heads      []*node // per real item (rank space)
+	counts     []int   // per real item: physical + via group patterns
+	groups     [][]dataset.Item
+	groupHeads []*node
+	nItems     int
+
+	// byItem lazily indexes groups by pattern item; pathCache lazily holds
+	// each group's subtree decomposition (member tails with residual
+	// counts), so projecting a group onto its k pattern items walks the
+	// subtree once instead of k times.
+	byItem    map[dataset.Item][]int32
+	pathCache map[int32][]pathEntry
+}
+
+// pathEntry is one set of member tuples below a group head: their common
+// remaining tail (ascending rank) and how many of them end exactly there.
+type pathEntry struct {
+	items []dataset.Item
+	count int
+}
+
+// groupsWith returns the indices of groups whose pattern contains it.
+func (tr *tree) groupsWith(it dataset.Item) []int32 {
+	if tr.byItem == nil {
+		tr.byItem = map[dataset.Item][]int32{}
+		for gi, pat := range tr.groups {
+			for _, p := range pat {
+				tr.byItem[p] = append(tr.byItem[p], int32(gi))
+			}
+		}
+	}
+	return tr.byItem[it]
+}
+
+// paths returns the cached subtree decomposition of every head node of
+// group gi.
+func (tr *tree) paths(gi int32) []pathEntry {
+	if ps, ok := tr.pathCache[gi]; ok {
+		return ps
+	}
+	if tr.pathCache == nil {
+		tr.pathCache = map[int32][]pathEntry{}
+	}
+	var ps []pathEntry
+	for g := tr.groupHeads[gi]; g != nil; g = g.next {
+		collectSubtree(g, nil, func(path []dataset.Item, count int) {
+			// path is root-to-node (descending rank); store ascending.
+			items := make([]dataset.Item, len(path))
+			for i, p := range path {
+				items[len(path)-1-i] = p
+			}
+			ps = append(ps, pathEntry{items: items, count: count})
+		})
+	}
+	tr.pathCache[gi] = ps
+	return ps
+}
+
+func newTree(nItems int) *tree {
+	return &tree{
+		root:   &node{item: -1, group: -1, children: map[int64]*node{}},
+		heads:  make([]*node, nItems),
+		counts: make([]int, nItems),
+		nItems: nItems,
+	}
+}
+
+// addGroup registers a group pattern and returns its tree-local index.
+// Equal patterns from different sources may get distinct indices; that only
+// costs a little compression, never correctness.
+func (tr *tree) addGroup(pattern []dataset.Item) int32 {
+	gi := int32(len(tr.groups))
+	tr.groups = append(tr.groups, pattern)
+	tr.groupHeads = append(tr.groupHeads, nil)
+	return gi
+}
+
+// insert adds one tuple: an optional group (by tree-local index, -1 for
+// none) followed by real outlying items (ascending rank; walked descending
+// so frequent items sit near the root).
+func (tr *tree) insert(group int32, tail []dataset.Item, count int) {
+	cur := tr.root
+	if group >= 0 {
+		key := childKey(group, 0)
+		child := cur.children[key]
+		if child == nil {
+			child = &node{item: -1, group: group, children: map[int64]*node{}, parent: cur}
+			child.next = tr.groupHeads[group]
+			tr.groupHeads[group] = child
+			cur.children[key] = child
+		}
+		child.count += count
+		for _, it := range tr.groups[group] {
+			tr.counts[it] += count
+		}
+		cur = child
+	}
+	for i := len(tail) - 1; i >= 0; i-- {
+		it := tail[i]
+		tr.counts[it] += count
+		key := childKey(-1, it)
+		child := cur.children[key]
+		if child == nil {
+			child = &node{item: it, group: -1, children: map[int64]*node{}, parent: cur}
+			child.next = tr.heads[it]
+			tr.heads[it] = child
+			cur.children[key] = child
+		}
+		child.count += count
+		cur = child
+	}
+}
+
+// MineCDB implements core.CDBMiner.
+func (Miner) MineCDB(cdb *core.CDB, minCount int, sink mining.Sink) error {
+	if minCount < 1 {
+		return mining.ErrBadMinSupport
+	}
+	flist := cdb.FList(minCount)
+	if flist.Len() == 0 {
+		return nil
+	}
+	blocks, loose := core.EncodeCDB(cdb, flist)
+	tr := newTree(flist.Len())
+	for _, b := range blocks {
+		gi := tr.addGroup(b.Suffix)
+		nTails := 0
+		for _, tail := range b.Tails {
+			tr.insert(gi, tail, 1)
+			nTails++
+		}
+		if rest := b.Count - nTails; rest > 0 {
+			tr.insert(gi, nil, rest) // members whose tail emptied entirely
+		}
+	}
+	for _, t := range loose {
+		tr.insert(-1, t, 1)
+	}
+	m := &ctx{flist: flist, min: minCount, sink: sink, decoded: make([]dataset.Item, flist.Len())}
+	m.growth(tr, nil)
+	return nil
+}
+
+type ctx struct {
+	flist   *mining.FList
+	min     int
+	sink    mining.Sink
+	decoded []dataset.Item
+}
+
+func (m *ctx) emit(prefix []dataset.Item, support int) {
+	m.sink.Emit(m.flist.DecodeInto(m.decoded, prefix), support)
+}
+
+// growth mines one compressed (conditional) tree.
+func (m *ctx) growth(tr *tree, prefix []dataset.Item) {
+	// Lemma 3.1 shortcut: the whole tree is one group-head node with no
+	// outlying subtree — enumerate combinations of the group pattern.
+	if g, count := tr.loneGroup(); g >= 0 {
+		m.enumerate(tr.groups[g], count, prefix)
+		return
+	}
+	// Classic single-path shortcut when no specials are involved.
+	if items, counts := tr.singleRealPath(); items != nil {
+		m.enumeratePath(items, counts, prefix)
+		return
+	}
+
+	prefix = append(prefix, 0)
+	condCounts := make([]int, tr.nItems)
+	var pbuf, tbuf []dataset.Item
+	var giMap []int32
+	for r := 0; r < tr.nItems; r++ {
+		if tr.counts[r] < m.min {
+			continue
+		}
+		it := dataset.Item(r)
+		prefix[len(prefix)-1] = it
+		m.emit(prefix, tr.counts[r])
+
+		// Pass A: support counts over the conditional pattern base, drawn
+		// from the item's physical nodes and from the groups whose pattern
+		// contains it.
+		for i := range condCounts {
+			condCounts[i] = 0
+		}
+		for n := tr.heads[it]; n != nil; n = n.next {
+			for p := n.parent; p != nil; p = p.parent {
+				if p.group >= 0 {
+					for _, bi := range restrict(tr.groups[p.group], it) {
+						condCounts[bi] += n.count
+					}
+					break // group heads sit directly below the root
+				}
+				if p.item >= 0 {
+					condCounts[p.item] += n.count
+				}
+			}
+		}
+		for _, gi := range tr.groupsWith(it) {
+			rest := restrict(tr.groups[gi], it)
+			for _, pe := range tr.paths(gi) {
+				for _, bi := range rest {
+					condCounts[bi] += pe.count
+				}
+				for _, bi := range restrict(pe.items, it) {
+					condCounts[bi] += pe.count
+				}
+			}
+		}
+		any := false
+		for _, c := range condCounts {
+			if c >= m.min {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+
+		// Pass B: build the conditional compressed tree from the same two
+		// sources, keeping only locally frequent items. The restriction of
+		// a group pattern becomes a group of the conditional tree.
+		cond := newTree(tr.nItems)
+		// All inserts sharing a source group yield the same restricted,
+		// filtered pattern, so the conditional group index is memoized per
+		// source group — no pattern hashing on the hot path.
+		if cap(giMap) < len(tr.groups) {
+			giMap = make([]int32, len(tr.groups))
+		}
+		giMap = giMap[:len(tr.groups)]
+		for i := range giMap {
+			giMap[i] = -2 // not computed
+		}
+		condGroup := func(srcGi int32) int32 {
+			if g := giMap[srcGi]; g != -2 {
+				return g
+			}
+			pbuf = pbuf[:0]
+			for _, bi := range restrict(tr.groups[srcGi], it) {
+				if condCounts[bi] >= m.min {
+					pbuf = append(pbuf, bi)
+				}
+			}
+			g := int32(-1)
+			if len(pbuf) > 0 {
+				g = cond.addGroup(append([]dataset.Item(nil), pbuf...))
+			}
+			giMap[srcGi] = g
+			return g
+		}
+		insert := func(srcGi int32, tail []dataset.Item, count int) {
+			gi := int32(-1)
+			if srcGi >= 0 {
+				gi = condGroup(srcGi)
+			}
+			tbuf = tbuf[:0]
+			for _, bi := range tail {
+				if condCounts[bi] >= m.min {
+					tbuf = append(tbuf, bi)
+				}
+			}
+			if gi >= 0 || len(tbuf) > 0 {
+				cond.insert(gi, tbuf, count)
+			}
+		}
+		var walkTail []dataset.Item
+		for n := tr.heads[it]; n != nil; n = n.next {
+			walkTail = walkTail[:0]
+			srcGi := int32(-1)
+			for p := n.parent; p != nil; p = p.parent {
+				if p.group >= 0 {
+					srcGi = p.group
+					break
+				}
+				if p.item >= 0 {
+					walkTail = append(walkTail, p.item)
+				}
+			}
+			if len(walkTail) > 0 || srcGi >= 0 {
+				// Climbing yields ascending rank, as insert expects.
+				insert(srcGi, walkTail, n.count)
+			}
+		}
+		for _, gi := range tr.groupsWith(it) {
+			for _, pe := range tr.paths(gi) {
+				tail := restrict(pe.items, it)
+				if len(tail) > 0 || len(tr.groups[gi]) > 0 {
+					insert(gi, tail, pe.count)
+				}
+			}
+		}
+		if len(cond.root.children) > 0 {
+			m.growth(cond, prefix)
+		}
+	}
+}
+
+// collectSubtree walks the subtree below g, invoking fn for every node with
+// a positive residual count (node count minus its children's counts): the
+// tuples that end at that node. path accumulates real items from g downward
+// and is ascending by construction? No — descending rank going down; fn
+// receives it unsorted and callers sort/filter as needed.
+func collectSubtree(g *node, path []dataset.Item, fn func(path []dataset.Item, count int)) {
+	residual := g.count
+	for _, child := range g.children {
+		residual -= child.count
+	}
+	if residual > 0 {
+		fn(path, residual)
+	}
+	for _, child := range g.children {
+		collectSubtree(child, append(path, child.item), fn)
+	}
+}
+
+// restrict returns the items of sorted pattern strictly greater than it.
+func restrict(pattern []dataset.Item, it dataset.Item) []dataset.Item {
+	lo, hi := 0, len(pattern)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pattern[mid] <= it {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return pattern[lo:]
+}
+
+// loneGroup reports whether the tree is exactly one group-head node with no
+// children, returning its group index and count (else -1, 0).
+func (tr *tree) loneGroup() (int32, int) {
+	if len(tr.root.children) != 1 {
+		return -1, 0
+	}
+	for _, child := range tr.root.children {
+		if child.group >= 0 && len(child.children) == 0 {
+			return child.group, child.count
+		}
+	}
+	return -1, 0
+}
+
+// singleRealPath returns the unique root-to-leaf path when the tree is one
+// branch of real nodes only (root-first, descending rank), else nil.
+func (tr *tree) singleRealPath() ([]dataset.Item, []int) {
+	var items []dataset.Item
+	var counts []int
+	cur := tr.root
+	for {
+		if len(cur.children) == 0 {
+			return items, counts
+		}
+		if len(cur.children) > 1 {
+			return nil, nil
+		}
+		for _, child := range cur.children {
+			cur = child
+		}
+		if cur.group >= 0 {
+			return nil, nil
+		}
+		items = append(items, cur.item)
+		counts = append(counts, cur.count)
+	}
+}
+
+// enumerate emits every non-empty combination of items at the given support.
+func (m *ctx) enumerate(items []dataset.Item, support int, prefix []dataset.Item) {
+	n := len(items)
+	if n > 62 {
+		panic("rpfptree: group enumeration over more than 62 items")
+	}
+	base := len(prefix)
+	buf := append([]dataset.Item(nil), prefix...)
+	for mask := uint64(1); mask < 1<<uint(n); mask++ {
+		buf = buf[:base]
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				buf = append(buf, items[i])
+			}
+		}
+		m.emit(buf, support)
+	}
+}
+
+// enumeratePath is the classic single-path shortcut: combinations of path
+// items, supported by the deepest selected node's count.
+func (m *ctx) enumeratePath(items []dataset.Item, counts []int, prefix []dataset.Item) {
+	n := len(items)
+	if n == 0 {
+		return
+	}
+	if n > 62 {
+		panic("rpfptree: single path longer than 62 items")
+	}
+	base := len(prefix)
+	buf := append([]dataset.Item(nil), prefix...)
+	for mask := uint64(1); mask < 1<<uint(n); mask++ {
+		buf = buf[:base]
+		sup := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				buf = append(buf, items[i])
+				sup = counts[i]
+			}
+		}
+		if sup >= m.min {
+			m.emit(buf, sup)
+		}
+	}
+}

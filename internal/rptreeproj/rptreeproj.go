@@ -1,0 +1,231 @@
+// Package rptreeproj adapts the depth-first Tree Projection algorithm to
+// compressed databases — the paper's Recycle-TP (Section 4.2).
+//
+// As in the uncompressed version (internal/treeproj), the lexicographic tree
+// is walked depth-first with a triangular matrix counting all two-item
+// extensions of a node in one scan. The projected sets kept at each node are
+// compressed: group blocks carry their pattern once with a member count, so
+// both the extension counting and the matrix counting touch a block's
+// pattern once per node — pattern-pattern pairs are counted at block count
+// in O(|pattern|²) instead of per member tuple.
+package rptreeproj
+
+import (
+	"gogreen/internal/core"
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+)
+
+// Miner mines compressed databases with the Recycle-TP algorithm.
+type Miner struct{}
+
+// New returns a Recycle-TP engine.
+func New() Miner { return Miner{} }
+
+// Name implements core.CDBMiner.
+func (Miner) Name() string { return "rp-treeproj" }
+
+// MineCDB implements core.CDBMiner.
+func (Miner) MineCDB(cdb *core.CDB, minCount int, sink mining.Sink) error {
+	if minCount < 1 {
+		return mining.ErrBadMinSupport
+	}
+	flist := cdb.FList(minCount)
+	if flist.Len() == 0 {
+		return nil
+	}
+	blocks, loose := core.EncodeCDB(cdb, flist)
+	m := &ctx{
+		flist:   flist,
+		min:     minCount,
+		sink:    sink,
+		decoded: make([]dataset.Item, flist.Len()),
+		width:   flist.Len(),
+	}
+	m.node(blocks, loose, nil)
+	return nil
+}
+
+type ctx struct {
+	flist   *mining.FList
+	min     int
+	sink    mining.Sink
+	decoded []dataset.Item
+	width   int
+}
+
+func (m *ctx) emit(prefix []dataset.Item, support int) {
+	m.sink.Emit(m.flist.DecodeInto(m.decoded, prefix), support)
+}
+
+// node processes one lexicographic-tree node over a compressed projected
+// set.
+func (m *ctx) node(blocks []core.Block, loose [][]dataset.Item, prefix []dataset.Item) {
+	// One-item extension counts: block patterns once at block count.
+	counts := make([]int, m.width)
+	for i := range blocks {
+		b := &blocks[i]
+		for _, it := range b.Suffix {
+			counts[it] += b.Count
+		}
+		for _, tail := range b.Tails {
+			for _, it := range tail {
+				counts[it]++
+			}
+		}
+	}
+	for _, t := range loose {
+		for _, it := range t {
+			counts[it]++
+		}
+	}
+	exts := make([]dataset.Item, 0, 32)
+	for r := 0; r < m.width; r++ {
+		if counts[r] >= m.min {
+			exts = append(exts, dataset.Item(r))
+		}
+	}
+	if len(exts) == 0 {
+		return
+	}
+
+	// Lemma 3.1: all frequent occurrences inside one block's pattern.
+	if b := singleGroup(blocks, exts, counts); b != nil {
+		m.enumerate(exts, b.Count, prefix)
+		return
+	}
+
+	k := len(exts)
+	pos := make([]int32, m.width)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, e := range exts {
+		pos[e] = int32(i)
+	}
+
+	// Matrix counting over the compressed set: pattern×pattern pairs at
+	// block count, pattern×tail and tail×tail pairs per tail, loose pairs
+	// per tuple.
+	matrix := make([]int, k*k) // upper triangle (i < j)
+	var sBuf, tBuf []int32
+	addPairs := func(a, b []int32, sameSet bool, w int) {
+		for i := 0; i < len(a); i++ {
+			row := int(a[i]) * k
+			start := 0
+			if sameSet {
+				start = i + 1
+			}
+			for j := start; j < len(b); j++ {
+				x, y := a[i], b[j]
+				if x == y {
+					continue
+				}
+				if x < y {
+					matrix[row+int(y)] += w
+				} else {
+					matrix[int(y)*k+int(x)] += w
+				}
+			}
+		}
+	}
+	mapLocal := func(t []dataset.Item, buf []int32) []int32 {
+		buf = buf[:0]
+		for _, it := range t {
+			if p := pos[it]; p >= 0 {
+				buf = append(buf, p)
+			}
+		}
+		return buf
+	}
+	for i := range blocks {
+		b := &blocks[i]
+		sBuf = mapLocal(b.Suffix, sBuf)
+		addPairs(sBuf, sBuf, true, b.Count)
+		for _, tail := range b.Tails {
+			tBuf = mapLocal(tail, tBuf)
+			addPairs(sBuf, tBuf, false, 1)
+			addPairs(tBuf, tBuf, true, 1)
+		}
+	}
+	for _, t := range loose {
+		tBuf = mapLocal(t, tBuf)
+		addPairs(tBuf, tBuf, true, 1)
+	}
+
+	prefix = append(prefix, 0)
+	for i, e := range exts {
+		prefix[len(prefix)-1] = e
+		m.emit(prefix, counts[e])
+
+		// Child extensions known from the matrix before projecting.
+		nChild := 0
+		for j := i + 1; j < k; j++ {
+			if matrix[i*k+j] >= m.min {
+				nChild++
+			}
+		}
+		if nChild == 0 {
+			continue
+		}
+		childBlocks, childLoose := core.Project(blocks, loose, e)
+		if len(childBlocks) > 0 || len(childLoose) > 0 {
+			m.node(childBlocks, childLoose, prefix)
+		}
+	}
+}
+
+// singleGroup mirrors the check in core: the unique block holding every
+// frequent occurrence, or nil.
+func singleGroup(blocks []core.Block, frequent []dataset.Item, counts []int) *core.Block {
+	f0 := frequent[0]
+	for i := range blocks {
+		b := &blocks[i]
+		if idxOf(b.Suffix, f0) < 0 {
+			continue
+		}
+		for _, f := range frequent {
+			if counts[f] != b.Count || idxOf(b.Suffix, f) < 0 {
+				return nil
+			}
+		}
+		return b
+	}
+	return nil
+}
+
+// enumerate emits every non-empty combination of items at the given support.
+func (m *ctx) enumerate(items []dataset.Item, support int, prefix []dataset.Item) {
+	n := len(items)
+	if n > 62 {
+		panic("rptreeproj: single-group enumeration over more than 62 items")
+	}
+	base := len(prefix)
+	buf := append([]dataset.Item(nil), prefix...)
+	for mask := uint64(1); mask < 1<<uint(n); mask++ {
+		buf = buf[:base]
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				buf = append(buf, items[i])
+			}
+		}
+		m.emit(buf, support)
+	}
+}
+
+// idxOf returns the index of r in sorted s, or -1.
+func idxOf(s []dataset.Item, r dataset.Item) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo] == r {
+		return lo
+	}
+	return -1
+}

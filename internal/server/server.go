@@ -1,0 +1,420 @@
+// Package server exposes the recycling miner as a small multi-user HTTP
+// service — the setting the paper motivates in Section 2: "when there are
+// many users in a data mining system, the frequent patterns discovered by
+// one user also provide opportunity for the others to recycle."
+//
+// Databases are uploaded in basket format; every mining request can save its
+// result under a name, and later requests (from any user) reuse saved sets
+// automatically: a saved set mined at a threshold at or below the request's
+// is filtered, anything else is recycled through compression. JSON in and
+// out, stdlib only.
+//
+//	PUT    /db/{id}                 upload basket data (numeric ids)
+//	GET    /db                      list databases
+//	GET    /db/{id}                 database stats
+//	DELETE /db/{id}                 drop a database
+//	POST   /db/{id}/mine            run one mining round (see MineRequest)
+//	GET    /db/{id}/patterns        list saved pattern sets
+//	GET    /db/{id}/patterns/{name} fetch one saved set
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gogreen/internal/core"
+	"gogreen/internal/dataset"
+	"gogreen/internal/hmine"
+	"gogreen/internal/mining"
+	"gogreen/internal/rphmine"
+)
+
+// Server is the service state. Safe for concurrent use.
+type Server struct {
+	mu      sync.RWMutex
+	dbs     map[string]*entry
+	maxBody int64
+}
+
+// entry is one uploaded database and its saved pattern sets.
+type entry struct {
+	mu    sync.Mutex
+	db    *dataset.DB
+	stats dataset.Stats
+	sets  map[string]*savedSet
+}
+
+type savedSet struct {
+	patterns []mining.Pattern
+	minCount int
+	saved    time.Time
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMaxBodyBytes bounds upload sizes (default 64 MiB).
+func WithMaxBodyBytes(n int64) Option { return func(s *Server) { s.maxBody = n } }
+
+// New returns an empty server.
+func New(opts ...Option) *Server {
+	s := &Server{dbs: map[string]*entry{}, maxBody: 64 << 20}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /db", s.handleList)
+	mux.HandleFunc("PUT /db/{id}", s.handlePut)
+	mux.HandleFunc("GET /db/{id}", s.handleStats)
+	mux.HandleFunc("DELETE /db/{id}", s.handleDelete)
+	mux.HandleFunc("POST /db/{id}/mine", s.handleMine)
+	mux.HandleFunc("GET /db/{id}/patterns", s.handlePatternList)
+	mux.HandleFunc("GET /db/{id}/patterns/{name}", s.handlePatternGet)
+	return mux
+}
+
+// DBInfo describes one database in list/stats responses.
+type DBInfo struct {
+	ID       string  `json:"id"`
+	Tuples   int     `json:"tuples"`
+	AvgLen   float64 `json:"avg_len"`
+	NumItems int     `json:"num_items"`
+	Sets     int     `json:"saved_sets"`
+}
+
+// MineRequest is the body of POST /db/{id}/mine.
+type MineRequest struct {
+	// MinSupport is a fraction of the database (exclusive with MinCount).
+	MinSupport float64 `json:"min_support,omitempty"`
+	// MinCount is an absolute support threshold.
+	MinCount int `json:"min_count,omitempty"`
+	// Use selects the input knowledge: "auto" (default — filter or recycle
+	// the best saved set), "fresh" (ignore saved sets), or the name of a
+	// specific saved set to recycle.
+	Use string `json:"use,omitempty"`
+	// SaveAs stores the result under this name for later requests.
+	SaveAs string `json:"save_as,omitempty"`
+	// Limit caps the patterns echoed in the response (0 = none echoed;
+	// the count is always reported).
+	Limit int `json:"limit,omitempty"`
+}
+
+// MinePattern is one echoed pattern.
+type MinePattern struct {
+	Items   []dataset.Item `json:"items"`
+	Support int            `json:"support"`
+}
+
+// MineResponse is the result of one mining round.
+type MineResponse struct {
+	Count     int           `json:"count"`
+	MinCount  int           `json:"min_count"`
+	Source    string        `json:"source"` // fresh | filtered | recycled
+	Based     string        `json:"based_on,omitempty"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	SavedAs   string        `json:"saved_as,omitempty"`
+	Patterns  []MinePattern `json:"patterns,omitempty"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func fail(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) get(id string) (*entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.dbs[id]
+	return e, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	infos := make([]DBInfo, 0, len(s.dbs))
+	for id, e := range s.dbs {
+		infos = append(infos, s.info(id, e))
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) info(id string, e *entry) DBInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return DBInfo{ID: id, Tuples: e.stats.NumTx, AvgLen: e.stats.AvgLen,
+		NumItems: e.stats.NumItems, Sets: len(e.sets)}
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !validName(id) {
+		fail(w, http.StatusBadRequest, "bad database id %q", id)
+		return
+	}
+	db, err := dataset.ReadBasketIDs(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		fail(w, status, "parse: %v", err)
+		return
+	}
+	if db.Len() == 0 {
+		fail(w, http.StatusBadRequest, "empty database")
+		return
+	}
+	e := &entry{db: db, stats: db.Stats(), sets: map[string]*savedSet{}}
+	s.mu.Lock()
+	_, existed := s.dbs[id]
+	s.dbs[id] = e
+	s.mu.Unlock()
+	status := http.StatusCreated
+	if existed {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, s.info(id, e))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.get(id)
+	if !ok {
+		fail(w, http.StatusNotFound, "no database %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.info(id, e))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.dbs[id]
+	delete(s.dbs, id)
+	s.mu.Unlock()
+	if !ok {
+		fail(w, http.StatusNotFound, "no database %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.get(id)
+	if !ok {
+		fail(w, http.StatusNotFound, "no database %q", id)
+		return
+	}
+	var req MineRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	min := req.MinCount
+	if min == 0 && req.MinSupport > 0 {
+		if req.MinSupport >= 1 {
+			fail(w, http.StatusBadRequest, "min_support must be a fraction below 1")
+			return
+		}
+		min = mining.MinCount(e.stats.NumTx, req.MinSupport)
+	}
+	if min < 1 {
+		fail(w, http.StatusBadRequest, "need min_count >= 1 or min_support in (0,1)")
+		return
+	}
+	if req.SaveAs != "" && !validName(req.SaveAs) {
+		fail(w, http.StatusBadRequest, "bad save_as name %q", req.SaveAs)
+		return
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	resp, err := mineLocked(e, req, min)
+	if err != nil {
+		fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// mineLocked runs one round; caller holds e.mu.
+func mineLocked(e *entry, req MineRequest, min int) (*MineResponse, error) {
+	start := time.Now()
+	resp := &MineResponse{MinCount: min}
+
+	var patterns []mining.Pattern
+	switch use := req.Use; {
+	case use == "fresh":
+		var col mining.Collector
+		if err := hmine.New().Mine(e.db, min, &col); err != nil {
+			return nil, err
+		}
+		patterns = col.Patterns
+		resp.Source = "fresh"
+
+	case use == "" || use == "auto":
+		if name, set := bestSet(e.sets); set != nil {
+			if set.minCount <= min {
+				patterns = core.FilterTightened(set.patterns, min)
+				resp.Source = "filtered"
+			} else {
+				var err error
+				patterns, err = recycle(e.db, set.patterns, min)
+				if err != nil {
+					return nil, err
+				}
+				resp.Source = "recycled"
+			}
+			resp.Based = name
+		} else {
+			var col mining.Collector
+			if err := hmine.New().Mine(e.db, min, &col); err != nil {
+				return nil, err
+			}
+			patterns = col.Patterns
+			resp.Source = "fresh"
+		}
+
+	default:
+		set, ok := e.sets[use]
+		if !ok {
+			return nil, fmt.Errorf("no saved pattern set %q", use)
+		}
+		var err error
+		patterns, err = recycle(e.db, set.patterns, min)
+		if err != nil {
+			return nil, err
+		}
+		resp.Source = "recycled"
+		resp.Based = use
+	}
+
+	resp.Count = len(patterns)
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	if req.SaveAs != "" {
+		e.sets[req.SaveAs] = &savedSet{patterns: patterns, minCount: min, saved: time.Now()}
+		resp.SavedAs = req.SaveAs
+	}
+	if req.Limit > 0 {
+		n := req.Limit
+		if n > len(patterns) {
+			n = len(patterns)
+		}
+		resp.Patterns = make([]MinePattern, n)
+		for i := 0; i < n; i++ {
+			resp.Patterns[i] = MinePattern{Items: patterns[i].Items, Support: patterns[i].Support}
+		}
+	}
+	return resp, nil
+}
+
+// recycle compresses with fp and mines with the Recycle-HM engine.
+func recycle(db *dataset.DB, fp []mining.Pattern, min int) ([]mining.Pattern, error) {
+	rec := &core.Recycler{FP: fp, Strategy: core.MCP, Engine: rphmine.New()}
+	var col mining.Collector
+	if err := rec.Mine(db, min, &col); err != nil {
+		return nil, err
+	}
+	return col.Patterns, nil
+}
+
+// bestSet picks the saved set with the most patterns (the most recyclable
+// knowledge).
+func bestSet(sets map[string]*savedSet) (string, *savedSet) {
+	bestName, best := "", (*savedSet)(nil)
+	for name, s := range sets {
+		if best == nil || len(s.patterns) > len(best.patterns) ||
+			(len(s.patterns) == len(best.patterns) && name < bestName) {
+			bestName, best = name, s
+		}
+	}
+	return bestName, best
+}
+
+// SetInfo describes one saved pattern set.
+type SetInfo struct {
+	Name     string    `json:"name"`
+	Count    int       `json:"count"`
+	MinCount int       `json:"min_count"`
+	Saved    time.Time `json:"saved"`
+}
+
+func (s *Server) handlePatternList(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.get(r.PathValue("id"))
+	if !ok {
+		fail(w, http.StatusNotFound, "no database %q", r.PathValue("id"))
+		return
+	}
+	e.mu.Lock()
+	infos := make([]SetInfo, 0, len(e.sets))
+	for name, set := range e.sets {
+		infos = append(infos, SetInfo{Name: name, Count: len(set.patterns),
+			MinCount: set.minCount, Saved: set.saved})
+	}
+	e.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handlePatternGet(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.get(r.PathValue("id"))
+	if !ok {
+		fail(w, http.StatusNotFound, "no database %q", r.PathValue("id"))
+		return
+	}
+	name := r.PathValue("name")
+	e.mu.Lock()
+	set, ok := e.sets[name]
+	var out []MinePattern
+	if ok {
+		out = make([]MinePattern, len(set.patterns))
+		for i, p := range set.patterns {
+			out[i] = MinePattern{Items: p.Items, Support: p.Support}
+		}
+	}
+	e.mu.Unlock()
+	if !ok {
+		fail(w, http.StatusNotFound, "no saved pattern set %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// validName restricts ids to path-safe tokens.
+func validName(s string) bool {
+	if s == "" || len(s) > 64 {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return !strings.HasPrefix(s, ".")
+}

@@ -1,0 +1,172 @@
+// Package session implements the interactive, iterative mining loop that
+// motivates the paper: a user (or several users sharing a store) runs
+// constrained frequent-pattern mining repeatedly, refining constraints
+// between rounds. The session keeps each round's result and picks the
+// cheapest correct strategy for the next round:
+//
+//   - constraints tightened (or unchanged) → filter a previous result, no
+//     mining at all (Section 2's easy direction);
+//   - constraints relaxed or incomparable → compress the database with the
+//     best previous pattern set and mine the compressed database (the
+//     paper's recycling scheme);
+//   - no usable history → mine from scratch with the baseline algorithm.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gogreen/internal/constraints"
+	"gogreen/internal/core"
+	"gogreen/internal/dataset"
+	"gogreen/internal/hmine"
+	"gogreen/internal/mining"
+)
+
+// Source says how a round's result was produced.
+type Source string
+
+// Sources of a result.
+const (
+	SourceFresh    Source = "fresh"    // mined from scratch
+	SourceFiltered Source = "filtered" // filtered from a previous round
+	SourceRecycled Source = "recycled" // mined over a compressed database
+)
+
+// Result is one round's outcome.
+type Result struct {
+	Patterns []mining.Pattern
+	Source   Source
+	// BasedOn is the index of the history round that was filtered or
+	// recycled, or -1.
+	BasedOn int
+	Elapsed time.Duration
+}
+
+// Round is one history entry.
+type Round struct {
+	Constraints constraints.Set
+	Result      Result
+}
+
+// Session is an interactive mining session over one database. Not safe for
+// concurrent use.
+type Session struct {
+	db       *dataset.DB
+	strategy core.Strategy
+	engine   core.CDBMiner
+	baseline mining.Miner
+	rounds   []Round
+}
+
+// Option configures a session.
+type Option func(*Session)
+
+// WithStrategy selects the compression strategy (default MCP).
+func WithStrategy(s core.Strategy) Option { return func(se *Session) { se.strategy = s } }
+
+// WithEngine selects the compressed-database miner (default Recycle-HM is
+// chosen by the caller; nil means the naive miner).
+func WithEngine(e core.CDBMiner) Option { return func(se *Session) { se.engine = e } }
+
+// WithBaseline selects the from-scratch miner (default H-Mine).
+func WithBaseline(m mining.Miner) Option { return func(se *Session) { se.baseline = m } }
+
+// New starts a session over db.
+func New(db *dataset.DB, opts ...Option) *Session {
+	s := &Session{db: db, strategy: core.MCP, baseline: hmine.New()}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Rounds returns the history.
+func (s *Session) Rounds() []Round { return s.rounds }
+
+// ErrNoMinSupport mirrors constraints.ErrNoMinSupport for session rounds.
+var ErrNoMinSupport = errors.New("session: constraint set has no minsupport")
+
+// Mine runs one round under the given constraints, choosing filter, recycle
+// or fresh mining automatically, and records the round.
+func (s *Session) Mine(cs constraints.Set) (Result, error) {
+	min := constraints.MinSupportOf(cs)
+	if min < 1 {
+		return Result{}, ErrNoMinSupport
+	}
+	start := time.Now()
+
+	// Filter path: a previous round whose constraints were equal or looser
+	// contains every pattern of the new round.
+	if i := s.filterSource(cs); i >= 0 {
+		patterns := constraints.FilterSet(s.rounds[i].Result.Patterns, cs)
+		res := Result{Patterns: patterns, Source: SourceFiltered, BasedOn: i, Elapsed: time.Since(start)}
+		s.rounds = append(s.rounds, Round{Constraints: cs, Result: res})
+		return res, nil
+	}
+
+	// Recycle path: compress with the biggest previous pattern set.
+	if i := s.recycleSource(); i >= 0 {
+		res, err := s.MineRecycling(cs, s.rounds[i].Result.Patterns)
+		if err != nil {
+			return Result{}, err
+		}
+		res.BasedOn = i
+		s.rounds = append(s.rounds, Round{Constraints: cs, Result: res})
+		return res, nil
+	}
+
+	// Fresh path.
+	var col mining.Collector
+	if err := constraints.Mine(s.db, cs, s.baseline, &col); err != nil {
+		return Result{}, fmt.Errorf("session: fresh mining: %w", err)
+	}
+	res := Result{Patterns: col.Patterns, Source: SourceFresh, BasedOn: -1, Elapsed: time.Since(start)}
+	s.rounds = append(s.rounds, Round{Constraints: cs, Result: res})
+	return res, nil
+}
+
+// MineRecycling runs one round recycling an explicit pattern set — the
+// multi-user scenario, where fp was discovered by another session and
+// shipped over a pattern store. The round is not recorded in this session's
+// history (the caller gets the result and decides); Mine records rounds.
+func (s *Session) MineRecycling(cs constraints.Set, fp []mining.Pattern) (Result, error) {
+	min := constraints.MinSupportOf(cs)
+	if min < 1 {
+		return Result{}, ErrNoMinSupport
+	}
+	start := time.Now()
+	rec := &core.Recycler{FP: fp, Strategy: s.strategy, Engine: s.engine}
+	var col mining.Collector
+	if err := constraints.Mine(s.db, cs, rec, &col); err != nil {
+		return Result{}, fmt.Errorf("session: recycling: %w", err)
+	}
+	return Result{Patterns: col.Patterns, Source: SourceRecycled, BasedOn: -1, Elapsed: time.Since(start)}, nil
+}
+
+// filterSource returns the most recent history round whose constraints are
+// equal to or looser than cs (so filtering it is exact), or -1.
+func (s *Session) filterSource(cs constraints.Set) int {
+	for i := len(s.rounds) - 1; i >= 0; i-- {
+		switch constraints.Compare(s.rounds[i].Constraints, cs) {
+		case constraints.Equal, constraints.Tighter:
+			// New set equal or tighter than round i's: round i's result is
+			// a superset.
+			return i
+		}
+	}
+	return -1
+}
+
+// recycleSource returns the history round with the most patterns (the most
+// recyclable knowledge), or -1 when history is empty or useless.
+func (s *Session) recycleSource() int {
+	best, bestLen := -1, 0
+	for i := range s.rounds {
+		if n := len(s.rounds[i].Result.Patterns); n > bestLen {
+			best, bestLen = i, n
+		}
+	}
+	return best
+}

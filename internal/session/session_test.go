@@ -1,0 +1,178 @@
+package session_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"gogreen/internal/constraints"
+	"gogreen/internal/core"
+	"gogreen/internal/mining"
+	"gogreen/internal/rphmine"
+	"gogreen/internal/session"
+	"gogreen/internal/testutil"
+)
+
+func toSet(t *testing.T, ps []mining.Pattern) mining.PatternSet {
+	t.Helper()
+	out := mining.PatternSet{}
+	for _, p := range ps {
+		k := p.Key()
+		if _, dup := out[k]; dup {
+			t.Fatalf("duplicate pattern %v", p.Items)
+		}
+		out[k] = p
+	}
+	return out
+}
+
+// TestIterativeRefinement walks the paper's motivating scenario: mine at 5,
+// relax to 3, relax to 2, tighten back to 4 — checking sources and results.
+func TestIterativeRefinement(t *testing.T) {
+	db := testutil.PaperDB()
+	s := session.New(db, session.WithEngine(rphmine.New()))
+
+	res1, err := s.Mine(constraints.Set{constraints.MinSupport{Count: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Source != session.SourceFresh {
+		t.Errorf("round 1 source = %s, want fresh", res1.Source)
+	}
+	if !toSet(t, res1.Patterns).Equal(testutil.Oracle(t, db, 4)) {
+		t.Error("round 1 patterns wrong")
+	}
+
+	// Relax: must recycle round 1.
+	res2, err := s.Mine(constraints.Set{constraints.MinSupport{Count: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Source != session.SourceRecycled || res2.BasedOn != 0 {
+		t.Errorf("round 2 = %s based on %d, want recycled/0", res2.Source, res2.BasedOn)
+	}
+	if !toSet(t, res2.Patterns).Equal(testutil.Oracle(t, db, 2)) {
+		t.Error("round 2 patterns wrong")
+	}
+
+	// Tighten: must filter round 2, exactly reproducing a fresh mine at 3.
+	res3, err := s.Mine(constraints.Set{constraints.MinSupport{Count: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Source != session.SourceFiltered || res3.BasedOn != 1 {
+		t.Errorf("round 3 = %s based on %d, want filtered/1", res3.Source, res3.BasedOn)
+	}
+	if !toSet(t, res3.Patterns).Equal(testutil.Oracle(t, db, 3)) {
+		t.Error("round 3 patterns wrong")
+	}
+
+	if n := len(s.Rounds()); n != 3 {
+		t.Errorf("history length = %d, want 3", n)
+	}
+}
+
+// TestConstraintChange mixes support and length constraints across rounds.
+func TestConstraintChange(t *testing.T) {
+	db := testutil.PaperDB()
+	s := session.New(db)
+
+	cs1 := constraints.Set{constraints.MinSupport{Count: 2}, constraints.MaxLength{N: 4}}
+	r1, err := s.Mine(cs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range r1.Patterns {
+		if len(p.Items) > 4 {
+			t.Fatalf("maxlength violated: %v", p.Items)
+		}
+	}
+
+	// Tighten the length bound: filter path.
+	cs2 := constraints.Set{constraints.MinSupport{Count: 2}, constraints.MaxLength{N: 2}}
+	r2, err := s.Mine(cs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Source != session.SourceFiltered {
+		t.Errorf("tightened length: source = %s, want filtered", r2.Source)
+	}
+	want := mining.PatternSet{}
+	for k, p := range testutil.Oracle(t, db, 2) {
+		if len(p.Items) <= 2 {
+			want[k] = p
+		}
+	}
+	if !toSet(t, r2.Patterns).Equal(want) {
+		t.Error("tightened length patterns wrong")
+	}
+
+	// Relax the length bound: recycle path, but results must still be exact.
+	cs3 := constraints.Set{constraints.MinSupport{Count: 2}, constraints.MaxLength{N: 3}}
+	r3, err := s.Mine(cs3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want3 := mining.PatternSet{}
+	for k, p := range testutil.Oracle(t, db, 2) {
+		if len(p.Items) <= 3 {
+			want3[k] = p
+		}
+	}
+	if !toSet(t, r3.Patterns).Equal(want3) {
+		t.Error("relaxed length patterns wrong")
+	}
+}
+
+// TestMultiUserRecycling: patterns from one session recycle into another.
+func TestMultiUserRecycling(t *testing.T) {
+	db := testutil.PaperDB()
+	alice := session.New(db)
+	resA, err := alice.Mine(constraints.Set{constraints.MinSupport{Count: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bob := session.New(db, session.WithStrategy(core.MLP))
+	resB, err := bob.MineRecycling(constraints.Set{constraints.MinSupport{Count: 2}}, resA.Patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.Source != session.SourceRecycled {
+		t.Errorf("source = %s, want recycled", resB.Source)
+	}
+	if !toSet(t, resB.Patterns).Equal(testutil.Oracle(t, db, 2)) {
+		t.Error("multi-user recycling produced wrong patterns")
+	}
+}
+
+// TestRandomizedSessions drives random constraint walks and checks every
+// round against the oracle.
+func TestRandomizedSessions(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for rep := 0; rep < 10; rep++ {
+		db := testutil.RandomDB(r, 30+r.Intn(60), 5+r.Intn(10), 1+r.Intn(8))
+		s := session.New(db, session.WithEngine(rphmine.New()))
+		min := 6
+		for round := 0; round < 6; round++ {
+			min += r.Intn(5) - 2 // wander up and down
+			if min < 1 {
+				min = 1
+			}
+			res, err := s.Mine(constraints.Set{constraints.MinSupport{Count: min}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !toSet(t, res.Patterns).Equal(testutil.Oracle(t, db, min)) {
+				t.Fatalf("rep %d round %d (min=%d, source=%s): wrong patterns",
+					rep, round, min, res.Source)
+			}
+		}
+	}
+}
+
+func TestNoMinSupport(t *testing.T) {
+	s := session.New(testutil.PaperDB())
+	if _, err := s.Mine(constraints.Set{constraints.MaxLength{N: 3}}); err != session.ErrNoMinSupport {
+		t.Errorf("got %v, want ErrNoMinSupport", err)
+	}
+}

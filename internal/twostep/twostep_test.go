@@ -1,0 +1,132 @@
+package twostep_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+	"gogreen/internal/rphmine"
+	"gogreen/internal/testutil"
+	"gogreen/internal/twostep"
+)
+
+func opts() twostep.Options {
+	return twostep.Options{Engine: rphmine.New()}
+}
+
+// TestMineMatchesOracle: the two-step split is exact.
+func TestMineMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for rep := 0; rep < 12; rep++ {
+		db := testutil.RandomDB(r, 40+r.Intn(100), 5+r.Intn(12), 1+r.Intn(9))
+		for _, min := range []int{1, 2, 4} {
+			for _, factor := range []int{2, 4, 10} {
+				o := opts()
+				o.Factor = factor
+				var col mining.Collector
+				if err := twostep.Mine(db, min, o, &col); err != nil {
+					t.Fatal(err)
+				}
+				got, err := col.Set()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := testutil.Oracle(t, db, min); !got.Equal(want) {
+					t.Fatalf("min=%d factor=%d:\n%v", min, factor, got.Diff(want, 10))
+				}
+			}
+		}
+	}
+}
+
+// TestProgressiveMatchesOracle: the cascade is exact.
+func TestProgressiveMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(102))
+	for rep := 0; rep < 10; rep++ {
+		db := testutil.RandomDB(r, 50+r.Intn(100), 6+r.Intn(10), 2+r.Intn(8))
+		for _, min := range []int{1, 3} {
+			var col mining.Collector
+			if err := twostep.Progressive(db, min, opts(), &col); err != nil {
+				t.Fatal(err)
+			}
+			got, err := col.Set()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := testutil.Oracle(t, db, min); !got.Equal(want) {
+				t.Fatalf("min=%d:\n%v", min, got.Diff(want, 10))
+			}
+		}
+	}
+}
+
+// TestTopK: the result is exactly the K best by support, validated against
+// the sorted complete set.
+func TestTopK(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	for rep := 0; rep < 10; rep++ {
+		db := testutil.RandomDB(r, 50+r.Intn(80), 5+r.Intn(8), 1+r.Intn(7))
+		full := testutil.Oracle(t, db, 1).Slice()
+		sort.Slice(full, func(i, j int) bool {
+			if full[i].Support != full[j].Support {
+				return full[i].Support > full[j].Support
+			}
+			return len(full[i].Items) < len(full[j].Items)
+		})
+		for _, k := range []int{1, 5, 20, len(full), len(full) + 100} {
+			got, err := twostep.TopK(db, k, opts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantLen := k
+			if wantLen > len(full) {
+				wantLen = len(full)
+			}
+			if len(got) != wantLen {
+				t.Fatalf("k=%d: got %d patterns, want %d", k, len(got), wantLen)
+			}
+			// Support multiset must match the true top-K (ties may reorder
+			// among equal supports and lengths).
+			for i := range got {
+				if got[i].Support != full[i].Support {
+					t.Fatalf("k=%d rank %d: support %d, want %d",
+						k, i, got[i].Support, full[i].Support)
+				}
+			}
+			// Supports non-increasing.
+			for i := 1; i < len(got); i++ {
+				if got[i].Support > got[i-1].Support {
+					t.Fatal("top-k not sorted by support")
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	sink := mining.SinkFunc(func([]dataset.Item, int) {})
+	if err := twostep.Mine(dataset.New(nil), 0, opts(), sink); err != mining.ErrBadMinSupport {
+		t.Errorf("Mine min=0: %v", err)
+	}
+	if err := twostep.Progressive(dataset.New(nil), 0, opts(), sink); err != mining.ErrBadMinSupport {
+		t.Errorf("Progressive min=0: %v", err)
+	}
+	if _, err := twostep.TopK(dataset.New(nil), 0, opts()); err != mining.ErrBadMinSupport {
+		t.Errorf("TopK k=0: %v", err)
+	}
+	got, err := twostep.TopK(dataset.New(nil), 5, opts())
+	if err != nil || len(got) != 0 {
+		t.Errorf("TopK on empty db: %v %v", got, err)
+	}
+	// Threshold above the database size yields the empty set.
+	db := testutil.PaperDB()
+	var col mining.Collector
+	if err := twostep.Progressive(db, db.Len()+10, opts(), &col); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Patterns) != 0 {
+		t.Errorf("threshold above |DB| yielded %d patterns", len(col.Patterns))
+	}
+}
