@@ -3,7 +3,7 @@
 // saved mining result becomes recyclable knowledge for later requests from
 // any user (the paper's multi-user scenario, Section 2).
 //
-//	rpserved -addr :8080
+//	rpserved -addr :8080 -mine-timeout 30s -workers 4 -queue 64
 //
 // Walkthrough with curl:
 //
@@ -12,14 +12,29 @@
 //	curl -X POST -d '{"min_support":0.05,"save_as":"coarse"}' localhost:8080/db/weather/mine
 //	curl -X POST -d '{"min_support":0.01}' localhost:8080/db/weather/mine
 //	                      ^ recycled from "coarse" automatically
+//
+// Long-running mines go through the async job queue:
+//
+//	curl -X POST -d '{"min_support":0.001}' 'localhost:8080/db/weather/mine?async=1'
+//	curl localhost:8080/jobs/j1           # poll
+//	curl -X DELETE localhost:8080/jobs/j1 # cancel mid-recursion
+//
+// GET /metrics reports mine counts, latencies, the fresh/filtered/recycled
+// source mix, and queue gauges as JSON. With -pprof the Go profiling
+// endpoints are mounted under /debug/pprof/. On SIGINT/SIGTERM the server
+// stops accepting work, drains running jobs, and exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"gogreen/internal/server"
@@ -27,20 +42,60 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		maxBody = flag.Int64("max-upload-mb", 64, "maximum upload size in MiB")
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxBody     = flag.Int64("max-upload-mb", 64, "maximum upload size in MiB")
+		mineTimeout = flag.Duration("mine-timeout", 0, "per-request mining deadline (0 = none)")
+		workers     = flag.Int("workers", 0, "async mining workers (0 = NumCPU)")
+		queue       = flag.Int("queue", 64, "async job queue depth")
+		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 	)
 	flag.Parse()
 
-	srv := server.New(server.WithMaxBodyBytes(*maxBody << 20))
+	srv := server.New(
+		server.WithMaxBodyBytes(*maxBody<<20),
+		server.WithMineTimeout(*mineTimeout),
+		server.WithWorkers(*workers),
+		server.WithQueueDepth(*queue),
+	)
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintln(os.Stderr, "rpserved: pprof enabled at /debug/pprof/")
+	}
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(srv.Handler()),
+		Handler:           logRequests(mux),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "rpserved: listening on %s\n", *addr)
-	if err := hs.ListenAndServe(); err != nil {
+
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections, then drain the async
+	// job queue; both are bounded by the drain deadline.
+	fmt.Fprintln(os.Stderr, "rpserved: shutting down")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		log.Printf("rpserved: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("rpserved: job drain: %v", err)
 	}
 }
 

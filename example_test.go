@@ -1,6 +1,7 @@
 package gogreen_test
 
 import (
+	"context"
 	"fmt"
 
 	"gogreen"
@@ -18,24 +19,27 @@ func paperDB() *gogreen.DB {
 }
 
 // The complete two-round loop: mine once, recycle into a relaxed re-mine.
+// The context aborts either round cooperatively on cancel or deadline.
 func ExampleMineRecycling() {
 	db := paperDB()
+	ctx := context.Background()
 
-	round1, _ := gogreen.Mine(db, gogreen.HMine, 3)
-	round2, _ := gogreen.MineRecycling(db, round1, gogreen.MCP, gogreen.RecycleHMine, 2)
+	round1, _ := gogreen.Mine(ctx, db, gogreen.HMine, gogreen.WithMinCount(3))
+	round2, _ := gogreen.MineRecycling(ctx, db, round1.Patterns,
+		gogreen.WithMinCount(2), gogreen.WithEngine(gogreen.RecycleHMine))
 
-	fmt.Printf("round 1 (ξ=3): %d patterns\n", len(round1))
-	fmt.Printf("round 2 (ξ=2): %d patterns\n", len(round2))
+	fmt.Printf("round 1 (ξ=%d, %s): %d patterns\n", round1.MinCount, round1.Source, len(round1.Patterns))
+	fmt.Printf("round 2 (ξ=%d, %s): %d patterns\n", round2.MinCount, round2.Source, len(round2.Patterns))
 	// Output:
-	// round 1 (ξ=3): 11 patterns
-	// round 2 (ξ=2): 27 patterns
+	// round 1 (ξ=3, fresh): 11 patterns
+	// round 2 (ξ=2, recycled): 27 patterns
 }
 
 // Compression reproduces the paper's Table 2: tuples 100-300 group under
 // fgc, tuples 400-500 under ae.
 func ExampleCompress() {
 	db := paperDB()
-	round1, _ := gogreen.Mine(db, gogreen.HMine, 3)
+	round1, _ := gogreen.MineCount(db, gogreen.HMine, 3)
 
 	cdb := gogreen.Compress(db, round1, gogreen.MCP)
 	for _, g := range cdb.Groups {
@@ -49,7 +53,7 @@ func ExampleCompress() {
 // Tightening the threshold needs no mining at all.
 func ExampleFilterTightened() {
 	db := paperDB()
-	round1, _ := gogreen.Mine(db, gogreen.HMine, 2)
+	round1, _ := gogreen.MineCount(db, gogreen.HMine, 2)
 
 	tightened := gogreen.FilterTightened(round1, 4)
 	fmt.Printf("%d of %d patterns survive ξ=4\n", len(tightened), len(round1))
@@ -61,7 +65,7 @@ func ExampleFilterTightened() {
 // and recycling covers built from them are provably identical.
 func ExampleClosed() {
 	db := paperDB()
-	all, _ := gogreen.Mine(db, gogreen.HMine, 2)
+	all, _ := gogreen.MineCount(db, gogreen.HMine, 2)
 
 	closed := gogreen.Closed(all)
 	maximal := gogreen.Maximal(all)
@@ -73,7 +77,7 @@ func ExampleClosed() {
 // Association rules derive from any complete pattern set.
 func ExampleDeriveRules() {
 	db := paperDB()
-	all, _ := gogreen.Mine(db, gogreen.HMine, 3)
+	all, _ := gogreen.MineCount(db, gogreen.HMine, 3)
 
 	rules := gogreen.DeriveRules(all, 1.0, db.Len())
 	for _, r := range rules[:3] {

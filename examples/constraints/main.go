@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -58,7 +59,7 @@ func main() {
 	}
 
 	for i, r := range rounds {
-		res, err := s.Mine(r.cs)
+		res, err := s.Mine(context.Background(), r.cs)
 		if err != nil {
 			log.Fatal(err)
 		}

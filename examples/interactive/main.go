@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,13 +30,13 @@ func main() {
 	script := []float64{0.95, 0.935, 0.92, 0.94}
 	for i, xi := range script {
 		cs := constraints.Set{constraints.MinSupport{Count: mining.MinCount(db.Len(), xi)}}
-		res, err := s.Mine(cs)
+		res, err := s.Mine(context.Background(), cs)
 		if err != nil {
 			log.Fatal(err)
 		}
 		src := string(res.Source)
-		if res.BasedOn >= 0 {
-			src = fmt.Sprintf("%s from round %d", res.Source, res.BasedOn+1)
+		if res.Round >= 0 {
+			src = fmt.Sprintf("%s from round %d", res.Source, res.Round+1)
 		}
 		fmt.Printf("round %d: ξ=%.3f → %6d patterns in %8v  (%s)\n",
 			i+1, xi, len(res.Patterns), res.Elapsed.Round(1000), src)

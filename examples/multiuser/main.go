@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -55,7 +56,7 @@ func main() {
 
 	bob := session.New(db, session.WithEngine(rphmine.New()))
 	t0 = time.Now()
-	fresh, err := bob.Mine(bobCS) // no history: mines from scratch
+	fresh, err := bob.Mine(context.Background(), bobCS) // no history: mines from scratch
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func main() {
 		log.Fatal(err)
 	}
 	t0 = time.Now()
-	recycled, err := bob.MineRecycling(bobCS, shared.Patterns)
+	recycled, err := bob.MineRecycling(context.Background(), bobCS, shared.Patterns)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,9 +12,12 @@
 // Most applications need only this package:
 //
 //	db, _ := gogreen.ReadBasketIDsFile("data.basket")
-//	round1, _ := gogreen.Mine(db, gogreen.HMine, gogreen.MinCount(db.Len(), 0.05))
-//	round2, _ := gogreen.MineRecycling(db, round1, gogreen.MCP,
-//		gogreen.RecycleHMine, gogreen.MinCount(db.Len(), 0.01))
+//	round1, _ := gogreen.Mine(ctx, db, gogreen.HMine, gogreen.WithMinSupport(0.05))
+//	round2, _ := gogreen.MineRecycling(ctx, db, round1.Patterns,
+//		gogreen.WithMinSupport(0.01), gogreen.WithEngine(gogreen.RecycleHMine))
+//
+// Both entry points honor context cancellation and deadlines cooperatively
+// mid-recursion, so a long mine can be aborted from another goroutine.
 //
 // The sub-systems (constraint framework, memory-limited mining, pattern
 // persistence, interactive sessions, synthetic dataset generators) are
@@ -22,7 +25,10 @@
 package gogreen
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"gogreen/internal/apriori"
 	"gogreen/internal/core"
@@ -60,6 +66,11 @@ type (
 	Miner = mining.Miner
 	// CDBMiner mines compressed databases.
 	CDBMiner = core.CDBMiner
+	// Result is one mining round's outcome — the shape shared with the
+	// session layer and the HTTP server.
+	Result = mining.Result
+	// Source says how a result was produced (fresh, filtered, recycled).
+	Source = mining.Source
 )
 
 // Compression strategies (Section 3.2 of the paper).
@@ -133,17 +144,89 @@ func Algorithms() []Algorithm {
 // absolute tuple count (>= 1).
 func MinCount(numTx int, frac float64) int { return mining.MinCount(numTx, frac) }
 
-// Mine runs a baseline algorithm and returns the collected patterns.
-func Mine(db *DB, algo Algorithm, minCount int) ([]Pattern, error) {
+// ErrNoThreshold is returned by Mine and MineRecycling when neither
+// WithMinCount nor WithMinSupport was given.
+var ErrNoThreshold = errors.New("gogreen: no support threshold (use WithMinCount or WithMinSupport)")
+
+// MineOptions collects the tunables of Mine and MineRecycling. Construct it
+// through the With... functional options.
+type MineOptions struct {
+	// MinCount is the absolute support threshold; it wins over MinSupport.
+	MinCount int
+	// MinSupport is the relative threshold as a fraction of |DB|, used when
+	// MinCount is zero.
+	MinSupport float64
+	// Strategy picks the compression utility for recycling (default MCP).
+	Strategy Strategy
+	// Engine names the compressed-database miner for recycling (default
+	// RecycleHMine).
+	Engine Algorithm
+	// Sink, when set, streams patterns instead of collecting them: the sink
+	// receives every pattern and Result.Patterns stays nil.
+	Sink Sink
+}
+
+// MineOption configures one call of Mine or MineRecycling.
+type MineOption func(*MineOptions)
+
+// WithMinCount sets the absolute support threshold.
+func WithMinCount(n int) MineOption { return func(o *MineOptions) { o.MinCount = n } }
+
+// WithMinSupport sets the relative support threshold (fraction of |DB|).
+func WithMinSupport(frac float64) MineOption { return func(o *MineOptions) { o.MinSupport = frac } }
+
+// WithStrategy selects the compression strategy for MineRecycling.
+func WithStrategy(s Strategy) MineOption { return func(o *MineOptions) { o.Strategy = s } }
+
+// WithEngine selects the compressed-database miner for MineRecycling.
+func WithEngine(a Algorithm) MineOption { return func(o *MineOptions) { o.Engine = a } }
+
+// WithSink streams patterns to sink instead of collecting them in the
+// Result.
+func WithSink(s Sink) MineOption { return func(o *MineOptions) { o.Sink = s } }
+
+// resolve applies the options and computes the absolute threshold.
+func resolve(db *DB, opts []MineOption) (MineOptions, int, error) {
+	o := MineOptions{Strategy: MCP, Engine: RecycleHMine}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	min := o.MinCount
+	if min < 1 && o.MinSupport > 0 {
+		min = MinCount(db.Len(), o.MinSupport)
+	}
+	if min < 1 {
+		return o, 0, ErrNoThreshold
+	}
+	return o, min, nil
+}
+
+// Mine runs a baseline algorithm under ctx and returns the round's Result.
+// Cancellation and deadlines abort the recursion cooperatively within
+// microseconds.
+func Mine(ctx context.Context, db *DB, algo Algorithm, opts ...MineOption) (Result, error) {
+	o, min, err := resolve(db, opts)
+	if err != nil {
+		return Result{}, err
+	}
 	m, err := NewMiner(algo)
 	if err != nil {
-		return nil, err
+		return Result{}, err
 	}
+	start := time.Now()
 	var c Collector
-	if err := m.Mine(db, minCount, &c); err != nil {
-		return nil, err
+	sink, collected := o.Sink, false
+	if sink == nil {
+		sink, collected = &c, true
 	}
-	return c.Patterns, nil
+	if err := mining.MineContext(ctx, m, db, min, sink); err != nil {
+		return Result{}, err
+	}
+	res := Result{Source: mining.SourceFresh, MinCount: min, Elapsed: time.Since(start)}
+	if collected {
+		res.Patterns = c.Patterns
+	}
+	return res, nil
 }
 
 // Compress runs phase one of recycling: cover db's tuples with the
@@ -152,19 +235,61 @@ func Compress(db *DB, recycled []Pattern, strat Strategy) *CDB {
 	return core.Compress(db, recycled, strat)
 }
 
-// MineRecycling runs the full two-phase scheme: compress db with the
-// recycled patterns, then mine the compressed database at minCount.
-func MineRecycling(db *DB, recycled []Pattern, strat Strategy, engine Algorithm, minCount int) ([]Pattern, error) {
-	eng, err := NewEngine(engine)
+// MineRecycling runs the full two-phase scheme under ctx: compress db with
+// the recycled patterns, then mine the compressed database. Strategy and
+// engine default to MCP and RecycleHMine; override with WithStrategy and
+// WithEngine.
+func MineRecycling(ctx context.Context, db *DB, recycled []Pattern, opts ...MineOption) (Result, error) {
+	o, min, err := resolve(db, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	eng, err := NewEngine(o.Engine)
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	rec := &core.Recycler{FP: recycled, Strategy: o.Strategy, Engine: eng}
+	var c Collector
+	sink, collected := o.Sink, false
+	if sink == nil {
+		sink, collected = &c, true
+	}
+	if err := rec.MineContext(ctx, db, min, sink); err != nil {
+		return Result{}, err
+	}
+	res := Result{Source: mining.SourceRecycled, MinCount: min, Elapsed: time.Since(start)}
+	if collected {
+		res.Patterns = c.Patterns
+	}
+	return res, nil
+}
+
+// MineCount runs a baseline algorithm at an absolute threshold and returns
+// the bare pattern slice.
+//
+// Deprecated: use Mine with WithMinCount; it adds context cancellation and
+// result provenance.
+func MineCount(db *DB, algo Algorithm, minCount int) ([]Pattern, error) {
+	res, err := Mine(context.Background(), db, algo, WithMinCount(minCount))
 	if err != nil {
 		return nil, err
 	}
-	var c Collector
-	rec := &core.Recycler{FP: recycled, Strategy: strat, Engine: eng}
-	if err := rec.Mine(db, minCount, &c); err != nil {
+	return res.Patterns, nil
+}
+
+// MineRecyclingCount runs the two-phase recycling scheme with explicit
+// strategy and engine and returns the bare pattern slice.
+//
+// Deprecated: use MineRecycling with WithMinCount, WithStrategy and
+// WithEngine; it adds context cancellation and result provenance.
+func MineRecyclingCount(db *DB, recycled []Pattern, strat Strategy, engine Algorithm, minCount int) ([]Pattern, error) {
+	res, err := MineRecycling(context.Background(), db, recycled,
+		WithMinCount(minCount), WithStrategy(strat), WithEngine(engine))
+	if err != nil {
 		return nil, err
 	}
-	return c.Patterns, nil
+	return res.Patterns, nil
 }
 
 // FilterTightened implements the cheap direction of iteration: when the

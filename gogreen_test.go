@@ -1,6 +1,8 @@
 package gogreen
 
 import (
+	"context"
+	"errors"
 	"path/filepath"
 	"testing"
 
@@ -10,7 +12,7 @@ import (
 func TestFacadeRoundTrip(t *testing.T) {
 	db := testutil.PaperDB()
 
-	round1, err := Mine(db, HMine, 3)
+	round1, err := MineCount(db, HMine, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,11 +21,11 @@ func TestFacadeRoundTrip(t *testing.T) {
 	}
 
 	for _, engine := range []Algorithm{RecycleNaive, RecycleHMine, RecycleFPGrowth, RecycleTreeProj} {
-		round2, err := MineRecycling(db, round1, MCP, engine, 2)
+		round2, err := MineRecyclingCount(db, round1, MCP, engine, 2)
 		if err != nil {
 			t.Fatalf("%s: %v", engine, err)
 		}
-		direct, err := Mine(db, Apriori, 2)
+		direct, err := MineCount(db, Apriori, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -33,7 +35,7 @@ func TestFacadeRoundTrip(t *testing.T) {
 	}
 
 	filtered := FilterTightened(round1, 4)
-	direct4, _ := Mine(db, HMine, 4)
+	direct4, _ := MineCount(db, HMine, 4)
 	if len(filtered) != len(direct4) {
 		t.Fatalf("filter: %d vs %d", len(filtered), len(direct4))
 	}
@@ -41,14 +43,14 @@ func TestFacadeRoundTrip(t *testing.T) {
 
 func TestFacadeAllAlgorithms(t *testing.T) {
 	db := testutil.PaperDB()
-	want, _ := Mine(db, Apriori, 2)
+	want, _ := MineCount(db, Apriori, 2)
 	for _, a := range Algorithms() {
 		var got []Pattern
 		var err error
 		if _, e := NewMiner(a); e == nil {
-			got, err = Mine(db, a, 2)
+			got, err = MineCount(db, a, 2)
 		} else {
-			got, err = MineRecycling(db, nil, MCP, a, 2)
+			got, err = MineRecyclingCount(db, nil, MCP, a, 2)
 		}
 		if err != nil {
 			t.Fatalf("%s: %v", a, err)
@@ -73,10 +75,10 @@ func TestFacadeErrors(t *testing.T) {
 		t.Error("NewEngine should reject baseline names")
 	}
 	db := testutil.PaperDB()
-	if _, err := Mine(db, "bogus", 2); err == nil {
+	if _, err := MineCount(db, "bogus", 2); err == nil {
 		t.Error("Mine should propagate algorithm errors")
 	}
-	if _, err := MineRecycling(db, nil, MCP, "bogus", 2); err == nil {
+	if _, err := MineRecyclingCount(db, nil, MCP, "bogus", 2); err == nil {
 		t.Error("MineRecycling should propagate engine errors")
 	}
 }
@@ -100,5 +102,67 @@ func TestFacadeIO(t *testing.T) {
 	cdb := Compress(db, nil, MLP)
 	if cdb.NumTx != 2 {
 		t.Error("Compress facade")
+	}
+}
+
+// TestFacadeOptions covers the redesigned entry points: functional options,
+// relative thresholds, streaming sinks, and provenance metadata.
+func TestFacadeOptions(t *testing.T) {
+	db := testutil.PaperDB()
+	ctx := context.Background()
+
+	res, err := Mine(ctx, db, HMine, WithMinCount(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != 11 || res.Source != "fresh" || res.MinCount != 3 {
+		t.Fatalf("result = %+v", res)
+	}
+
+	// MinSupport 0.6 on 5 tuples resolves to count 3.
+	bySup, err := Mine(ctx, db, HMine, WithMinSupport(0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bySup.MinCount != 3 || len(bySup.Patterns) != 11 {
+		t.Fatalf("min-support result = %+v", bySup)
+	}
+
+	// A sink streams; the result carries no patterns.
+	var c Collector
+	streamed, err := Mine(ctx, db, HMine, WithMinCount(3), WithSink(&c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Patterns) != 11 || streamed.Patterns != nil {
+		t.Fatalf("streamed %d, result %+v", len(c.Patterns), streamed)
+	}
+
+	rec, err := MineRecycling(ctx, db, res.Patterns, WithMinCount(2), WithStrategy(MLP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Patterns) != 27 || rec.Source != "recycled" {
+		t.Fatalf("recycled = %+v", rec)
+	}
+
+	if _, err := Mine(ctx, db, HMine); err != ErrNoThreshold {
+		t.Errorf("missing threshold: %v", err)
+	}
+	if _, err := MineRecycling(ctx, db, nil); err != ErrNoThreshold {
+		t.Errorf("recycling missing threshold: %v", err)
+	}
+}
+
+// TestFacadeCancellation proves both entry points honor a cancelled context.
+func TestFacadeCancellation(t *testing.T) {
+	db := testutil.PaperDB()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Mine(ctx, db, HMine, WithMinCount(2)); !errors.Is(err, context.Canceled) {
+		t.Errorf("Mine with cancelled ctx: %v", err)
+	}
+	if _, err := MineRecycling(ctx, db, nil, WithMinCount(2)); !errors.Is(err, context.Canceled) {
+		t.Errorf("MineRecycling with cancelled ctx: %v", err)
 	}
 }

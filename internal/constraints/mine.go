@@ -1,6 +1,7 @@
 package constraints
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -40,6 +41,13 @@ func MinSupportOf(s Set) int {
 // The sink receives exactly the frequent patterns satisfying every
 // constraint.
 func Mine(db *dataset.DB, cs Set, miner mining.Miner, sink mining.Sink) error {
+	return MineContext(context.Background(), db, cs, miner, sink)
+}
+
+// MineContext is Mine with cooperative cancellation: when miner implements
+// mining.ContextMiner the context is threaded into the recursion, otherwise
+// it is checked only at the call boundaries.
+func MineContext(ctx context.Context, db *dataset.DB, cs Set, miner mining.Miner, sink mining.Sink) error {
 	min := MinSupportOf(cs)
 	if min < 1 {
 		return ErrNoMinSupport
@@ -57,14 +65,14 @@ func Mine(db *dataset.DB, cs Set, miner mining.Miner, sink mining.Sink) error {
 		}
 	}
 	if len(rest) == 0 {
-		return miner.Mine(mineDB, min, sink)
+		return mining.MineContext(ctx, miner, mineDB, min, sink)
 	}
 	filter := mining.SinkFunc(func(items []dataset.Item, support int) {
 		if rest.Satisfied(items, support) {
 			sink.Emit(items, support)
 		}
 	})
-	return miner.Mine(mineDB, min, filter)
+	return mining.MineContext(ctx, miner, mineDB, min, filter)
 }
 
 // pushItemsFrom deletes excluded items from every tuple.

@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -193,11 +194,31 @@ func Compress(db *dataset.DB, fp []mining.Pattern, strat Strategy) *CDB {
 	return CompressRanked(db, RankPatterns(fp, db.Len(), strat))
 }
 
+// CompressContext is Compress with cooperative cancellation: the per-tuple
+// cover loop checks ctx periodically, so even phase one of recycling — which
+// scans every tuple against the ranked pattern list — honors deadlines on
+// large databases.
+func CompressContext(ctx context.Context, db *dataset.DB, fp []mining.Pattern, strat Strategy) (*CDB, error) {
+	cancel := mining.NewCanceller(ctx, 0)
+	if err := cancel.Err(); err != nil {
+		return nil, err
+	}
+	cdb := compressRanked(db, RankPatterns(fp, db.Len(), strat), cancel)
+	if err := cancel.Err(); err != nil {
+		return nil, err
+	}
+	return cdb, nil
+}
+
 // CompressRanked compresses db with an explicitly ordered pattern list:
 // each tuple is covered by the first containing pattern. Compress is the
 // paper's utility-ranked entry point; this one exists for ablations and
 // custom cover policies.
 func CompressRanked(db *dataset.DB, ranked []RankedPattern) *CDB {
+	return compressRanked(db, ranked, nil)
+}
+
+func compressRanked(db *dataset.DB, ranked []RankedPattern, cancel *mining.Canceller) *CDB {
 	cdb := &CDB{NumTx: db.Len(), Dict: db.Dict()}
 	groups := map[string]int{} // pattern key -> index in cdb.Groups
 
@@ -219,6 +240,9 @@ func CompressRanked(db *dataset.DB, ranked []RankedPattern) *CDB {
 	}
 
 	for id, t := range db.All() {
+		if cancel.Check() != nil {
+			return cdb
+		}
 		for _, it := range t {
 			member[it] = true
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gogreen/internal/dataset"
@@ -41,6 +42,19 @@ func (r *Recycler) Mine(db *dataset.DB, minCount int, sink mining.Sink) error {
 	}
 	cdb := Compress(db, r.FP, r.Strategy)
 	return r.engine().MineCDB(cdb, minCount, sink)
+}
+
+// MineContext implements mining.ContextMiner: both phases — compression and
+// compressed-database mining — honor ctx.
+func (r *Recycler) MineContext(ctx context.Context, db *dataset.DB, minCount int, sink mining.Sink) error {
+	if minCount < 1 {
+		return mining.ErrBadMinSupport
+	}
+	cdb, err := CompressContext(ctx, db, r.FP, r.Strategy)
+	if err != nil {
+		return err
+	}
+	return MineCDBContext(ctx, r.engine(), cdb, minCount, sink)
 }
 
 // FilterTightened implements the easy direction of recycling (Section 2):

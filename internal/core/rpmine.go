@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"gogreen/internal/dataset"
@@ -16,6 +17,29 @@ type CDBMiner interface {
 	// MineCDB finds all frequent patterns of the database cdb represents at
 	// absolute support minCount, streaming them into sink.
 	MineCDB(cdb *CDB, minCount int, sink mining.Sink) error
+}
+
+// ContextCDBMiner is a CDBMiner supporting cooperative cancellation:
+// MineCDBContext aborts promptly when ctx is cancelled or its deadline
+// expires, returning the context's error.
+type ContextCDBMiner interface {
+	CDBMiner
+	MineCDBContext(ctx context.Context, cdb *CDB, minCount int, sink mining.Sink) error
+}
+
+// MineCDBContext runs engine under ctx when it supports cancellation, and
+// otherwise falls back to the blocking MineCDB bracketed by boundary checks.
+func MineCDBContext(ctx context.Context, engine CDBMiner, cdb *CDB, minCount int, sink mining.Sink) error {
+	if cm, ok := engine.(ContextCDBMiner); ok {
+		return cm.MineCDBContext(ctx, cdb, minCount, sink)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := engine.MineCDB(cdb, minCount, sink); err != nil {
+		return err
+	}
+	return ctx.Err()
 }
 
 // Naive is the paper's naive recycling miner (Figure 3): physical projected
@@ -75,6 +99,24 @@ func EncodeCDB(cdb *CDB, flist *mining.FList) (blocks []Block, loose [][]dataset
 
 // MineCDB implements CDBMiner.
 func (n Naive) MineCDB(cdb *CDB, minCount int, sink mining.Sink) error {
+	return n.mineCDB(cdb, minCount, sink, nil)
+}
+
+// MineCDBContext implements ContextCDBMiner: like MineCDB, but aborts
+// promptly (checked at every node of the projection recursion) when ctx is
+// cancelled or times out.
+func (n Naive) MineCDBContext(ctx context.Context, cdb *CDB, minCount int, sink mining.Sink) error {
+	cancel := mining.NewCanceller(ctx, 0)
+	if err := cancel.Err(); err != nil {
+		return err
+	}
+	if err := n.mineCDB(cdb, minCount, sink, cancel); err != nil {
+		return err
+	}
+	return cancel.Err()
+}
+
+func (n Naive) mineCDB(cdb *CDB, minCount int, sink mining.Sink, cancel *mining.Canceller) error {
 	if minCount < 1 {
 		return mining.ErrBadMinSupport
 	}
@@ -83,7 +125,9 @@ func (n Naive) MineCDB(cdb *CDB, minCount int, sink mining.Sink) error {
 		return nil
 	}
 	blocks, loose := EncodeCDB(cdb, flist)
-	return n.MineEncoded(blocks, loose, flist, nil, minCount, sink)
+	m := &rpCtx{flist: flist, min: minCount, sink: sink, decoded: make([]dataset.Item, flist.Len()), noSingle: n.DisableSingleGroup, cancel: cancel}
+	m.mine(blocks, loose, nil)
+	return nil
 }
 
 // MineEncoded mines an already rank-encoded (projected) compressed database
@@ -105,6 +149,7 @@ type rpCtx struct {
 	sink     mining.Sink
 	decoded  []dataset.Item
 	noSingle bool
+	cancel   *mining.Canceller
 }
 
 func (m *rpCtx) emit(prefix []dataset.Item, support int) {
@@ -117,6 +162,10 @@ func (m *rpCtx) emit(prefix []dataset.Item, support int) {
 // recurse per frequent extension with a physically projected database (the
 // second saving: one containment check classifies a whole group).
 func (m *rpCtx) mine(blocks []Block, loose [][]dataset.Item, prefix []dataset.Item) {
+	// Cooperative cancellation, one cheap check per recursion node.
+	if m.cancel.Check() != nil {
+		return
+	}
 	counts := map[dataset.Item]int{}
 	for i := range blocks {
 		b := &blocks[i]
@@ -157,6 +206,9 @@ func (m *rpCtx) mine(blocks []Block, loose [][]dataset.Item, prefix []dataset.It
 
 	prefix = append(prefix, 0)
 	for _, r := range frequent {
+		if m.cancel.Check() != nil {
+			return
+		}
 		prefix[len(prefix)-1] = r
 		m.emit(prefix, counts[r])
 		subBlocks, subLoose := Project(blocks, loose, r)
@@ -200,6 +252,11 @@ func (m *rpCtx) enumerate(items []dataset.Item, support int, prefix []dataset.It
 	base := len(prefix)
 	buf := append([]dataset.Item(nil), prefix...)
 	for mask := uint64(1); mask < 1<<uint(n); mask++ {
+		// The enumeration can cover up to 2^62 patterns, so it must honor
+		// cancellation like the recursion proper.
+		if m.cancel.Check() != nil {
+			return
+		}
 		buf = buf[:base]
 		for i := 0; i < n; i++ {
 			if mask&(1<<uint(i)) != 0 {

@@ -1,0 +1,93 @@
+package hmine_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gogreen/internal/dataset"
+	"gogreen/internal/hmine"
+	"gogreen/internal/mining"
+	"gogreen/internal/testutil"
+)
+
+// slowDB builds a database whose full mine is combinatorially infeasible:
+// identical transactions over nItems items make all 2^nItems itemsets
+// frequent at minimum count 1.
+func slowDB(nItems, nTx int) *dataset.DB {
+	tx := make([][]dataset.Item, nTx)
+	row := make([]dataset.Item, nItems)
+	for i := range row {
+		row[i] = dataset.Item(i)
+	}
+	for t := range tx {
+		tx[t] = row
+	}
+	return dataset.New(tx)
+}
+
+// TestMineContextComplete: with a live context the result matches Mine.
+func TestMineContextComplete(t *testing.T) {
+	db := testutil.PaperDB()
+	var plain, ctxed mining.Collector
+	if err := hmine.New().Mine(db, 2, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := hmine.New().MineContext(context.Background(), db, 2, &ctxed); err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Patterns) != len(ctxed.Patterns) {
+		t.Fatalf("MineContext found %d patterns, Mine found %d", len(ctxed.Patterns), len(plain.Patterns))
+	}
+}
+
+// TestMineContextAbortsMidRecursion starts an infeasible mine, cancels it
+// from another goroutine, and requires the recursion to unwind promptly.
+func TestMineContextAbortsMidRecursion(t *testing.T) {
+	db := slowDB(30, 60)
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var emitted int
+	sink := mining.SinkFunc(func([]dataset.Item, int) {
+		if emitted == 0 {
+			close(started)
+		}
+		emitted++
+	})
+
+	errc := make(chan error, 1)
+	go func() { errc <- hmine.New().MineContext(ctx, db, 1, sink) }()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("mine never emitted a pattern")
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(100 * time.Millisecond):
+		t.Fatal("mine did not unwind within 100ms of cancel")
+	}
+	if emitted >= 1<<30 {
+		t.Fatalf("mine ran to completion (%d patterns)", emitted)
+	}
+}
+
+// TestMineContextDeadline: an already-expired deadline aborts before any
+// pattern is emitted.
+func TestMineContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	var col mining.Collector
+	err := hmine.New().MineContext(ctx, testutil.PaperDB(), 2, &col)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if len(col.Patterns) != 0 {
+		t.Fatalf("emitted %d patterns after expired deadline", len(col.Patterns))
+	}
+}

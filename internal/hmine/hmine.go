@@ -9,6 +9,7 @@
 package hmine
 
 import (
+	"context"
 	"sort"
 
 	"gogreen/internal/dataset"
@@ -33,6 +34,25 @@ type suffix struct {
 
 // Mine implements mining.Miner.
 func (*Miner) Mine(db *dataset.DB, minCount int, sink mining.Sink) error {
+	return mineDB(db, minCount, sink, nil)
+}
+
+// MineContext implements mining.ContextMiner: like Mine, but aborts promptly
+// (the cancellation check runs at every node of the projected-database
+// recursion) when ctx is cancelled or times out, returning the context's
+// error.
+func (*Miner) MineContext(c context.Context, db *dataset.DB, minCount int, sink mining.Sink) error {
+	cancel := mining.NewCanceller(c, 0)
+	if err := cancel.Err(); err != nil {
+		return err
+	}
+	if err := mineDB(db, minCount, sink, cancel); err != nil {
+		return err
+	}
+	return cancel.Err()
+}
+
+func mineDB(db *dataset.DB, minCount int, sink mining.Sink, cancel *mining.Canceller) error {
 	if minCount < 1 {
 		return mining.ErrBadMinSupport
 	}
@@ -45,13 +65,17 @@ func (*Miner) Mine(db *dataset.DB, minCount int, sink mining.Sink) error {
 	// works through suffix pointers.
 	hs := flist.EncodeDB(db)
 
-	return MineProjected(hs, flist, nil, minCount, sink)
+	return mineProjected(hs, flist, nil, minCount, sink, cancel)
 }
 
 // MineProjected mines an already rank-encoded (projected) database whose
 // patterns all extend prefix (in rank space). Used by the memory-limited
 // driver to mine disk partitions with the H-Mine engine.
 func MineProjected(tx [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error {
+	return mineProjected(tx, flist, prefix, minCount, sink, nil)
+}
+
+func mineProjected(tx [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink, cancel *mining.Canceller) error {
 	if minCount < 1 {
 		return mining.ErrBadMinSupport
 	}
@@ -61,13 +85,14 @@ func MineProjected(tx [][]dataset.Item, flist *mining.FList, prefix []dataset.It
 		min:     minCount,
 		sink:    sink,
 		decoded: make([]dataset.Item, flist.Len()),
+		cancel:  cancel,
 	}
 	all := make([]suffix, len(tx))
 	for i := range tx {
 		all[i] = suffix{tx: int32(i), pos: 0}
 	}
 	m.mine(all, append([]dataset.Item(nil), prefix...))
-	return nil
+	return cancel.Err()
 }
 
 type ctx struct {
@@ -75,8 +100,9 @@ type ctx struct {
 	flist   *mining.FList
 	min     int
 	sink    mining.Sink
-	decoded []dataset.Item // scratch for emitting in item space
-	pool    []*level       // free per-recursion header tables
+	decoded []dataset.Item    // scratch for emitting in item space
+	pool    []*level          // free per-recursion header tables
+	cancel  *mining.Canceller // nil when mining without a context
 }
 
 // level is one recursion's header table: per-item support counts and suffix
@@ -118,11 +144,20 @@ func (m *ctx) emit(prefix []dataset.Item, support int) {
 // relinking each queue entry to the entry's next frequent item once the
 // item's own projection is fully mined — the H-Mine traversal.
 func (m *ctx) mine(sufs []suffix, prefix []dataset.Item) {
+	// Cooperative cancellation: one cheap check per recursion node and per
+	// counted suffix; once tripped, every level returns immediately and the
+	// whole recursion unwinds.
+	if m.cancel.Check() != nil {
+		return
+	}
 	lv := m.getLevel()
 	defer m.putLevel(lv)
 
 	// Header-table pass: count every item occurrence in the projection.
 	for _, s := range sufs {
+		if m.cancel.Check() != nil {
+			return
+		}
 		t := m.hs[s.tx]
 		for i := int(s.pos); i < len(t); i++ {
 			it := t[i]
@@ -155,6 +190,9 @@ func (m *ctx) mine(sufs []suffix, prefix []dataset.Item) {
 	// past.
 	prefix = append(prefix, 0)
 	for _, r := range lv.touched {
+		if m.cancel.Check() != nil {
+			return
+		}
 		q := lv.queues[r]
 		if len(q) == 0 || lv.counts[r] < m.min {
 			continue

@@ -1,0 +1,328 @@
+// Package jobs is the async job subsystem of the mining service: a bounded
+// worker pool with per-job cancellation and graceful drain. Long mining runs
+// are submitted as jobs so HTTP handlers return immediately; the queue bound
+// is the service's load-shedding point (a full queue maps to 429 upstream).
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job states. Terminal states are Done, Failed, and Cancelled.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether s is a final state.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// Fn is the work a job performs. It must honor ctx: cancellation (via
+// Manager.Cancel or shutdown) is delivered through it.
+type Fn func(ctx context.Context) (any, error)
+
+// ErrQueueFull is returned by Submit when the queue bound is reached.
+var ErrQueueFull = errors.New("jobs: queue full")
+
+// ErrShutdown is returned by Submit after Shutdown has begun.
+var ErrShutdown = errors.New("jobs: manager is shut down")
+
+// Job is one submitted unit of work.
+type Job struct {
+	id string
+	fn Fn
+
+	mu       sync.Mutex
+	status   Status
+	result   any
+	err      error
+	cancel   context.CancelCauseFunc
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	done chan struct{} // closed on reaching a terminal state
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Snapshot is a point-in-time copy of a job's state.
+type Snapshot struct {
+	ID       string    `json:"id"`
+	Status   Status    `json:"status"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitempty"`
+	Finished time.Time `json:"finished,omitempty"`
+	Result   any       `json:"result,omitempty"`
+	Error    string    `json:"error,omitempty"`
+}
+
+// Snapshot copies the job's current state.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Snapshot{ID: j.id, Status: j.status, Created: j.created, Started: j.started, Finished: j.finished}
+	if j.status == StatusDone {
+		s.Result = j.result
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}
+
+// Manager runs jobs on a fixed pool of workers over a bounded queue.
+type Manager struct {
+	queue   chan *Job
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string // submission order, for eviction and listing
+	seq     int64
+	closed  bool
+	queued  int
+	running int
+	retain  int
+
+	wg sync.WaitGroup
+}
+
+// New starts a manager with the given worker count and queue capacity
+// (both forced to at least 1). Completed jobs are retained for polling;
+// once more than retain (default 1024) jobs exist, the oldest finished
+// ones are evicted.
+func New(workers, queueCap int) *Manager {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		queue:   make(chan *Job, queueCap),
+		baseCtx: ctx,
+		stop:    stop,
+		jobs:    map[string]*Job{},
+		retain:  1024,
+	}
+	m.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Submit enqueues fn. It never blocks: when the queue is full it returns
+// ErrQueueFull, after Shutdown it returns ErrShutdown.
+func (m *Manager) Submit(fn Fn) (*Job, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	m.seq++
+	j := &Job{
+		id:      fmt.Sprintf("j%d", m.seq),
+		fn:      fn,
+		status:  StatusQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.seq-- // the job never existed
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.queued++
+	m.evictLocked()
+	m.mu.Unlock()
+	return j, nil
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention bound.
+func (m *Manager) evictLocked() {
+	excess := len(m.jobs) - m.retain
+	if excess <= 0 {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if excess > 0 && j != nil && j.Snapshot().Status.Terminal() {
+			delete(m.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// Get returns the job by id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns snapshots of every retained job in submission order.
+func (m *Manager) List() []Snapshot {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := m.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	m.mu.Unlock()
+	out := make([]Snapshot, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Snapshot()
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Created.Before(out[k].Created) })
+	return out
+}
+
+// Cancel cancels the job by id: a queued job is marked cancelled and skipped
+// by workers, a running job has its context cancelled (the job reaches a
+// terminal state when its Fn returns). Cancel reports whether the job exists;
+// cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) bool {
+	j, ok := m.Get(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	switch j.status {
+	case StatusQueued:
+		j.status = StatusCancelled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		close(j.done)
+		m.mu.Lock()
+		m.queued--
+		m.mu.Unlock()
+	case StatusRunning:
+		j.cancel(context.Canceled)
+	}
+	j.mu.Unlock()
+	return true
+}
+
+// Depth returns the number of queued (not yet running) jobs.
+func (m *Manager) Depth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queued
+}
+
+// Running returns the number of currently executing jobs.
+func (m *Manager) Running() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.running
+}
+
+// Shutdown stops accepting jobs and drains: it waits for queued and running
+// jobs to finish until ctx is done, then cancels whatever still runs and
+// waits for the workers to exit. Returns ctx.Err() when the drain deadline
+// was hit, else nil.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.queue)
+
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		m.stop() // cancel running jobs; workers exit once their Fn returns
+		<-drained
+	}
+	m.stop()
+	return err
+}
+
+// worker executes jobs until the queue is closed and empty.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.run(j)
+	}
+}
+
+func (m *Manager) run(j *Job) {
+	ctx, cancel := context.WithCancelCause(m.baseCtx)
+	defer cancel(nil)
+
+	j.mu.Lock()
+	if j.status != StatusQueued { // cancelled while waiting
+		j.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	m.mu.Lock()
+	m.queued--
+	m.running++
+	m.mu.Unlock()
+
+	result, err := j.fn(ctx)
+
+	m.mu.Lock()
+	m.running--
+	m.mu.Unlock()
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.result, j.err = result, err
+	switch {
+	case err == nil:
+		j.status = StatusDone
+	case errors.Is(err, context.Canceled):
+		j.status = StatusCancelled
+	default:
+		j.status = StatusFailed
+	}
+	close(j.done)
+	j.mu.Unlock()
+}

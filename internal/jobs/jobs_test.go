@@ -1,0 +1,144 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func wait(t *testing.T, j *Job) Snapshot {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatalf("job %s did not finish", j.ID())
+	}
+	return j.Snapshot()
+}
+
+func TestSubmitRun(t *testing.T) {
+	m := New(2, 4)
+	defer m.Shutdown(context.Background())
+	j, err := m.Submit(func(context.Context) (any, error) { return 41 + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := wait(t, j)
+	if s.Status != StatusDone || s.Result != 42 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	f, _ := m.Submit(func(context.Context) (any, error) { return nil, errors.New("boom") })
+	if s := wait(t, f); s.Status != StatusFailed || s.Error != "boom" {
+		t.Fatalf("failed job = %+v", s)
+	}
+}
+
+func TestQueueFullAndDepth(t *testing.T) {
+	m := New(1, 1)
+	defer m.Shutdown(context.Background())
+	release := make(chan struct{})
+	blocker, err := m.Submit(func(ctx context.Context) (any, error) { <-release; return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the blocker occupies the worker, then fill the queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Running() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	queued, err := m.Submit(func(context.Context) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Depth() != 1 {
+		t.Fatalf("depth = %d, want 1", m.Depth())
+	}
+	if _, err := m.Submit(func(context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit err = %v, want ErrQueueFull", err)
+	}
+	close(release)
+	wait(t, blocker)
+	wait(t, queued)
+	if m.Depth() != 0 {
+		t.Fatalf("depth after drain = %d", m.Depth())
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	m := New(1, 2)
+	defer m.Shutdown(context.Background())
+	started := make(chan struct{})
+	running, _ := m.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-started
+	queued, _ := m.Submit(func(context.Context) (any, error) { return "never", nil })
+
+	if !m.Cancel(queued.ID()) {
+		t.Fatal("cancel queued returned false")
+	}
+	if s := wait(t, queued); s.Status != StatusCancelled {
+		t.Fatalf("queued job = %+v", s)
+	}
+	if !m.Cancel(running.ID()) {
+		t.Fatal("cancel running returned false")
+	}
+	if s := wait(t, running); s.Status != StatusCancelled {
+		t.Fatalf("running job = %+v", s)
+	}
+	if m.Cancel("nope") {
+		t.Fatal("cancel of unknown job returned true")
+	}
+	// Cancelling a terminal job is a harmless no-op.
+	if !m.Cancel(running.ID()) {
+		t.Fatal("re-cancel returned false")
+	}
+}
+
+func TestShutdownDrains(t *testing.T) {
+	m := New(2, 8)
+	var done int
+	ch := make(chan struct{}, 8)
+	for i := 0; i < 6; i++ {
+		m.Submit(func(context.Context) (any, error) {
+			time.Sleep(10 * time.Millisecond)
+			ch <- struct{}{}
+			return nil, nil
+		})
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	close(ch)
+	for range ch {
+		done++
+	}
+	if done != 6 {
+		t.Fatalf("drained %d jobs, want 6", done)
+	}
+	if _, err := m.Submit(func(context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("submit after shutdown: %v", err)
+	}
+}
+
+func TestShutdownDeadlineCancelsRunning(t *testing.T) {
+	m := New(1, 1)
+	j, _ := m.Submit(func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := m.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("shutdown err = %v", err)
+	}
+	if s := j.Snapshot(); s.Status != StatusCancelled {
+		t.Fatalf("job after forced shutdown = %+v", s)
+	}
+}

@@ -1,0 +1,263 @@
+// Package metrics is a tiny stdlib-only metrics layer for the mining
+// service: named counters, gauges, and fixed-bucket histograms collected in
+// a Registry whose Snapshot is JSON-ready and served by Handler at
+// GET /metrics. Everything is safe for concurrent use; updates on the hot
+// path are single atomic operations (histograms take a short lock).
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing 64-bit counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (n < 0 is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous 64-bit value (queue depth, in-flight requests).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into fixed upper-bound buckets, plus
+// count/sum/min/max. Bounds are cumulative upper bounds; an implicit +Inf
+// bucket catches the rest.
+type Histogram struct {
+	mu       sync.Mutex
+	bounds   []float64
+	counts   []int64 // len(bounds)+1, last is +Inf
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+// DefaultLatencyBounds are millisecond buckets spanning sub-millisecond
+// requests to multi-minute mining runs.
+var DefaultLatencyBounds = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+
+// DefaultRatioBounds bucket compression ratios R = S_c/S_o in (0, 1.2]:
+// values near 0 mean strong compression, above 1 mean the compressed form
+// was larger (pathological covers).
+var DefaultRatioBounds = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.2}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1), min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// Bucket is one histogram bucket in a snapshot: the count of observations at
+// or below the upper bound Le (math.Inf(1) renders as "+Inf").
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// MarshalJSON renders the +Inf bound as a string (JSON has no infinity).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	type bucket struct {
+		Le    any   `json:"le"`
+		Count int64 `json:"count"`
+	}
+	le := any(b.Le)
+	if math.IsInf(b.Le, 1) {
+		le = "+Inf"
+	}
+	return json.Marshal(bucket{Le: le, Count: b.Count})
+}
+
+// UnmarshalJSON accepts both numeric bounds and the "+Inf" string, so
+// snapshots round-trip through JSON (clients and tests decode /metrics).
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Le    json.RawMessage `json:"le"`
+		Count int64           `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	var s string
+	if err := json.Unmarshal(raw.Le, &s); err == nil {
+		b.Le = math.Inf(1)
+		return nil
+	}
+	return json.Unmarshal(raw.Le, &b.Le)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min,omitempty"`
+	Max     float64  `json:"max,omitempty"`
+	Mean    float64  `json:"mean,omitempty"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot copies the histogram's current state. Empty buckets are elided.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum}
+	if h.count > 0 {
+		s.Min, s.Max, s.Mean = h.min, h.max, h.sum/float64(h.count)
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, Bucket{Le: le, Count: c})
+	}
+	return s
+}
+
+// Registry is a namespace of metrics. The zero value is not usable; call
+// NewRegistry. Metric constructors are get-or-create and safe to race.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() int64
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		gaugeFuncs: map[string]func() int64{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge evaluated lazily at snapshot time — used for
+// values owned elsewhere, like the job queue depth.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a JSON-ready view of every metric in the registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the current value of every metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)+len(r.gaugeFuncs)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, fn := range r.gaugeFuncs {
+		s.Gauges[name] = fn()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Handler serves the registry snapshot as JSON.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+}

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored
+	if got := r.Counter("x").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := r.Gauge("g").Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	r.GaugeFunc("fn", func() int64 { return 42 })
+	if got := r.Snapshot().Gauges["fn"]; got != 42 {
+		t.Fatalf("gauge func = %d, want 42", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 5060.5 || s.Min != 0.5 || s.Max != 5000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	want := map[float64]int64{1: 1, 10: 2, 100: 1, math.Inf(1): 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+	for _, b := range s.Buckets {
+		if want[b.Le] != b.Count {
+			t.Errorf("bucket le=%v count=%d, want %d", b.Le, b.Count, want[b.Le])
+		}
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", DefaultLatencyBounds).Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["c"] != 8000 || s.Gauges["g"] != 8000 || s.Histograms["h"].Count != 8000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestHandlerJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mine.total").Add(3)
+	r.Histogram("lat", DefaultLatencyBounds).Observe(12)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if s.Counters["mine.total"] != 3 || s.Histograms["lat"].Count != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}

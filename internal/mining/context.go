@@ -1,0 +1,95 @@
+package mining
+
+import (
+	"context"
+
+	"gogreen/internal/dataset"
+)
+
+// DefaultCancelEvery is how many Check calls a Canceller lets pass between
+// context polls. Projected-database miners call Check once per recursion
+// node and once per tuple of the counting pass, so at this granularity a
+// cancellation is observed within microseconds while the steady-state cost
+// stays one counter increment per call.
+const DefaultCancelEvery = 1024
+
+// Canceller is the shared cooperative-cancellation check used by every miner
+// in this repository. It is deliberately cheap: Check increments a counter
+// and polls the context only every `every` calls; once the context is done
+// the error sticks, so an aborting recursion unwinds with one branch per
+// level. A nil *Canceller is valid and never cancels — plain (context-free)
+// mining entry points pass nil and pay nothing.
+type Canceller struct {
+	ctx   context.Context
+	every uint32
+	n     uint32
+	err   error
+}
+
+// NewCanceller returns a checker polling ctx every `every` Check calls
+// (DefaultCancelEvery when every <= 0). A nil result is returned for
+// contexts that can never be cancelled, keeping the nil fast path.
+func NewCanceller(ctx context.Context, every int) *Canceller {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	if every <= 0 {
+		every = DefaultCancelEvery
+	}
+	return &Canceller{ctx: ctx, every: uint32(every)}
+}
+
+// Check reports the sticky cancellation error, polling the context every
+// `every` calls. Safe on a nil receiver (always nil).
+func (c *Canceller) Check() error {
+	if c == nil {
+		return nil
+	}
+	if c.err != nil {
+		return c.err
+	}
+	if c.n++; c.n%c.every != 0 {
+		return nil
+	}
+	c.err = c.ctx.Err()
+	return c.err
+}
+
+// Err returns the recorded cancellation error without advancing the poll
+// counter, but polls the context directly so boundary checks (before the
+// first node, after the last) are exact. Safe on a nil receiver.
+func (c *Canceller) Err() error {
+	if c == nil {
+		return nil
+	}
+	if c.err == nil {
+		c.err = c.ctx.Err()
+	}
+	return c.err
+}
+
+// ContextMiner is implemented by miners that support cooperative
+// cancellation: MineContext behaves like Mine but aborts promptly — the
+// repository's implementations check every node of the projected-database
+// recursion — when ctx is cancelled or its deadline expires, returning the
+// context's error.
+type ContextMiner interface {
+	Miner
+	MineContext(ctx context.Context, db *dataset.DB, minCount int, sink Sink) error
+}
+
+// MineContext runs m under ctx when the miner supports cancellation, and
+// otherwise falls back to the blocking Mine bracketed by boundary checks, so
+// callers get deadline semantics (if not promptness) from every miner.
+func MineContext(ctx context.Context, m Miner, db *dataset.DB, minCount int, sink Sink) error {
+	if cm, ok := m.(ContextMiner); ok {
+		return cm.MineContext(ctx, db, minCount, sink)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := m.Mine(db, minCount, sink); err != nil {
+		return err
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,33 @@
+package mining
+
+import "time"
+
+// Source says how a mining round's result was produced. The three values
+// mirror the paper's decision tree: constraints tightened → filter, relaxed
+// or incomparable with history → recycle, no usable history → fresh mine.
+type Source string
+
+// Sources of a result.
+const (
+	SourceFresh    Source = "fresh"    // mined from scratch
+	SourceFiltered Source = "filtered" // filtered from a previous result
+	SourceRecycled Source = "recycled" // mined over a compressed database
+)
+
+// Result is one mining round's outcome. It is the single result shape shared
+// by the public facade (gogreen.Mine), the interactive session layer
+// (session.Result embeds it) and the HTTP server (MineResponse is its wire
+// projection), so the three surfaces report provenance identically.
+type Result struct {
+	// Patterns is the complete frequent-pattern set of the round.
+	Patterns []Pattern
+	// Source says whether the round was mined fresh, filtered, or recycled.
+	Source Source
+	// BasedOn labels the reused knowledge — a saved-set name on the server,
+	// a "round-N" label in a session — and is empty for fresh rounds.
+	BasedOn string
+	// MinCount is the absolute support threshold the round ran at.
+	MinCount int
+	// Elapsed is the round's wall-clock mining time.
+	Elapsed time.Duration
+}

@@ -23,6 +23,7 @@
 package rphmine
 
 import (
+	"context"
 	"sort"
 
 	"gogreen/internal/core"
@@ -84,6 +85,24 @@ type level struct {
 
 // MineCDB implements core.CDBMiner.
 func (Miner) MineCDB(cdb *core.CDB, minCount int, sink mining.Sink) error {
+	return mineCDB(cdb, minCount, sink, nil)
+}
+
+// MineCDBContext implements core.ContextCDBMiner: like MineCDB, but aborts
+// promptly (checked at every node of the RP-header recursion) when ctx is
+// cancelled or times out.
+func (Miner) MineCDBContext(c context.Context, cdb *core.CDB, minCount int, sink mining.Sink) error {
+	cancel := mining.NewCanceller(c, 0)
+	if err := cancel.Err(); err != nil {
+		return err
+	}
+	if err := mineCDB(cdb, minCount, sink, cancel); err != nil {
+		return err
+	}
+	return cancel.Err()
+}
+
+func mineCDB(cdb *core.CDB, minCount int, sink mining.Sink, cancel *mining.Canceller) error {
 	if minCount < 1 {
 		return mining.ErrBadMinSupport
 	}
@@ -92,13 +111,17 @@ func (Miner) MineCDB(cdb *core.CDB, minCount int, sink mining.Sink) error {
 		return nil
 	}
 	blocks, loose := core.EncodeCDB(cdb, flist)
-	return Miner{}.MineEncoded(blocks, loose, flist, nil, minCount, sink)
+	return mineEncoded(blocks, loose, flist, nil, minCount, sink, cancel)
 }
 
 // MineEncoded mines an already rank-encoded (projected) compressed database
 // whose patterns all extend prefix (in rank space). Used by the
 // memory-limited driver to mine disk partitions with the Recycle-HM engine.
 func (Miner) MineEncoded(blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error {
+	return mineEncoded(blocks, loose, flist, prefix, minCount, sink, nil)
+}
+
+func mineEncoded(blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink, cancel *mining.Canceller) error {
 	if minCount < 1 {
 		return mining.ErrBadMinSupport
 	}
@@ -107,6 +130,7 @@ func (Miner) MineEncoded(blocks []core.Block, loose [][]dataset.Item, flist *min
 		min:     minCount,
 		sink:    sink,
 		decoded: make([]dataset.Item, flist.Len()),
+		cancel:  cancel,
 	}
 	// Build the RP-Struct arena: one copy of every suffix, tail, and loose
 	// tuple.
@@ -139,6 +163,7 @@ type ctx struct {
 	sink    mining.Sink
 	decoded []dataset.Item
 	pool    []*level
+	cancel  *mining.Canceller // nil when mining without a context
 }
 
 func (m *ctx) getLevel() *level {
@@ -170,6 +195,10 @@ func (m *ctx) emit(prefix []dataset.Item, support int) {
 
 // mine processes one projected compressed database held in lv.
 func (m *ctx) mine(lv *level, prefix []dataset.Item) {
+	// Cooperative cancellation, one cheap check per recursion node.
+	if m.cancel.Check() != nil {
+		return
+	}
 	// Fill the RP-header table: one pass over the structure. Group patterns
 	// are touched once, contributing their count to each item — the first
 	// saving of Section 3.1.
@@ -243,6 +272,9 @@ func (m *ctx) mine(lv *level, prefix []dataset.Item) {
 	// item's projected compressed database (Figure 8).
 	prefix = append(prefix, 0)
 	for ti := 0; ti < len(lv.touched); ti++ {
+		if m.cancel.Check() != nil {
+			return
+		}
 		r := lv.touched[ti]
 		if lv.counts[r] < m.min {
 			continue
@@ -409,6 +441,11 @@ func (m *ctx) enumerate(lv *level, support int, prefix []dataset.Item) {
 	base := len(prefix)
 	buf := append([]dataset.Item(nil), prefix...)
 	for mask := uint64(1); mask < 1<<uint(n); mask++ {
+		// The enumeration can cover up to 2^62 patterns, so it must honor
+		// cancellation like the recursion proper.
+		if m.cancel.Check() != nil {
+			return
+		}
 		buf = buf[:base]
 		for i := 0; i < n; i++ {
 			if mask&(1<<uint(i)) != 0 {

@@ -1,7 +1,7 @@
-// Package server exposes the recycling miner as a small multi-user HTTP
-// service — the setting the paper motivates in Section 2: "when there are
-// many users in a data mining system, the frequent patterns discovered by
-// one user also provide opportunity for the others to recycle."
+// Package server exposes the recycling miner as a multi-user HTTP service —
+// the setting the paper motivates in Section 2: "when there are many users
+// in a data mining system, the frequent patterns discovered by one user also
+// provide opportunity for the others to recycle."
 //
 // Databases are uploaded in basket format; every mining request can save its
 // result under a name, and later requests (from any user) reuse saved sets
@@ -9,20 +9,45 @@
 // is filtered, anything else is recycled through compression. JSON in and
 // out, stdlib only.
 //
-//	PUT    /db/{id}                 upload basket data (numeric ids)
-//	GET    /db                      list databases
-//	GET    /db/{id}                 database stats
-//	DELETE /db/{id}                 drop a database
-//	POST   /db/{id}/mine            run one mining round (see MineRequest)
-//	GET    /db/{id}/patterns        list saved pattern sets
-//	GET    /db/{id}/patterns/{name} fetch one saved set
+// The service is built to be operated, not just demonstrated:
+//
+//   - every mining run honors the request context plus an optional
+//     per-request deadline (WithMineTimeout); timeouts and client
+//     disconnects abort the recursion within microseconds and map to 503;
+//
+//   - mining never holds a database's lock — inputs are snapshotted under
+//     the lock, mined unlocked, and results saved under the lock again with
+//     a last-writer-wins version check, so reads stay fast during long runs;
+//
+//   - long runs can be made asynchronous (POST .../mine?async=1): they
+//     enqueue onto a bounded worker pool (full queue → 429) and are polled
+//     and cancelled through /jobs;
+//
+//   - GET /metrics reports mine counts, latencies, the fresh/filtered/
+//     recycled source mix, compression ratios, queue depth and in-flight
+//     requests.
+//
+//     PUT    /db/{id}                 upload basket data (numeric ids)
+//     GET    /db                      list databases
+//     GET    /db/{id}                 database stats
+//     DELETE /db/{id}                 drop a database
+//     POST   /db/{id}/mine            run one mining round (see MineRequest);
+//     ?async=1 enqueues a job instead
+//     GET    /db/{id}/patterns        list saved pattern sets
+//     GET    /db/{id}/patterns/{name} fetch one saved set
+//     GET    /jobs                    list async jobs
+//     GET    /jobs/{id}               poll one job
+//     DELETE /jobs/{id}               cancel one job
+//     GET    /metrics                 metrics snapshot (JSON)
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -31,6 +56,8 @@ import (
 	"gogreen/internal/core"
 	"gogreen/internal/dataset"
 	"gogreen/internal/hmine"
+	"gogreen/internal/jobs"
+	"gogreen/internal/metrics"
 	"gogreen/internal/mining"
 	"gogreen/internal/rphmine"
 )
@@ -40,16 +67,34 @@ type Server struct {
 	mu      sync.RWMutex
 	dbs     map[string]*entry
 	maxBody int64
+
+	mineTimeout time.Duration
+	jobs        *jobs.Manager
+	workers     int
+	queueCap    int
+
+	reg *metrics.Registry
+	met *serverMetrics
+
+	// mineHook, when set, runs after a mine's input snapshot is taken and
+	// before mining starts. Test-only: lets tests replace the database
+	// deterministically mid-run to exercise the save version check.
+	mineHook func()
 }
 
-// entry is one uploaded database and its saved pattern sets.
+// entry is one uploaded database and its saved pattern sets. version is
+// bumped whenever the database content is replaced; mining results are only
+// saved when the database they were mined from is still current.
 type entry struct {
-	mu    sync.Mutex
-	db    *dataset.DB
-	stats dataset.Stats
-	sets  map[string]*savedSet
+	mu      sync.Mutex
+	db      *dataset.DB
+	stats   dataset.Stats
+	sets    map[string]*savedSet
+	version int64
 }
 
+// savedSet is one saved mining result. The patterns slice is immutable once
+// stored, so it can be snapshotted out of the lock and shared.
 type savedSet struct {
 	patterns []mining.Pattern
 	minCount int
@@ -62,14 +107,59 @@ type Option func(*Server)
 // WithMaxBodyBytes bounds upload sizes (default 64 MiB).
 func WithMaxBodyBytes(n int64) Option { return func(s *Server) { s.maxBody = n } }
 
+// WithMineTimeout bounds every mining run, synchronous or async (default: no
+// limit). Expired runs abort cooperatively and report 503 / a failed job.
+func WithMineTimeout(d time.Duration) Option { return func(s *Server) { s.mineTimeout = d } }
+
+// WithWorkers sets the async worker pool size (default: NumCPU).
+// Non-positive values keep the default.
+func WithWorkers(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// WithQueueDepth bounds the async job queue (default 64). A full queue
+// rejects new jobs with 429 — the service's load-shedding point.
+// Non-positive values keep the default.
+func WithQueueDepth(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.queueCap = n
+		}
+	}
+}
+
+// WithRegistry uses an external metrics registry (default: a fresh one).
+func WithRegistry(reg *metrics.Registry) Option { return func(s *Server) { s.reg = reg } }
+
 // New returns an empty server.
 func New(opts ...Option) *Server {
-	s := &Server{dbs: map[string]*entry{}, maxBody: 64 << 20}
+	s := &Server{
+		dbs:      map[string]*entry{},
+		maxBody:  64 << 20,
+		workers:  runtime.NumCPU(),
+		queueCap: 64,
+	}
 	for _, o := range opts {
 		o(s)
 	}
+	if s.reg == nil {
+		s.reg = metrics.NewRegistry()
+	}
+	s.jobs = jobs.New(s.workers, s.queueCap)
+	s.met = newServerMetrics(s.reg, s.jobs)
 	return s
 }
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Shutdown drains the async job queue (bounded by ctx) and releases the
+// worker pool. The HTTP listener is the caller's to stop.
+func (s *Server) Shutdown(ctx context.Context) error { return s.jobs.Shutdown(ctx) }
 
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler {
@@ -81,7 +171,51 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /db/{id}/mine", s.handleMine)
 	mux.HandleFunc("GET /db/{id}/patterns", s.handlePatternList)
 	mux.HandleFunc("GET /db/{id}/patterns/{name}", s.handlePatternGet)
+	mux.HandleFunc("GET /jobs", s.handleJobList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	mux.Handle("GET /metrics", s.reg.Handler())
 	return mux
+}
+
+// serverMetrics bundles the service's named metrics.
+type serverMetrics struct {
+	reg       *metrics.Registry
+	total     *metrics.Counter
+	errored   *metrics.Counter
+	cancelled *metrics.Counter
+	latency   *metrics.Histogram
+	ratio     *metrics.Histogram
+	inFlight  *metrics.Gauge
+	submitted *metrics.Counter
+	rejected  *metrics.Counter
+	killed    *metrics.Counter
+}
+
+func newServerMetrics(reg *metrics.Registry, jm *jobs.Manager) *serverMetrics {
+	m := &serverMetrics{
+		reg:       reg,
+		total:     reg.Counter("mine.requests.total"),
+		errored:   reg.Counter("mine.requests.errors"),
+		cancelled: reg.Counter("mine.requests.cancelled"),
+		latency:   reg.Histogram("mine.latency_ms", metrics.DefaultLatencyBounds),
+		ratio:     reg.Histogram("mine.compression_ratio", metrics.DefaultRatioBounds),
+		inFlight:  reg.Gauge("mine.in_flight"),
+		submitted: reg.Counter("jobs.submitted"),
+		rejected:  reg.Counter("jobs.rejected"),
+		killed:    reg.Counter("jobs.cancelled"),
+	}
+	reg.GaugeFunc("jobs.queue_depth", func() int64 { return int64(jm.Depth()) })
+	reg.GaugeFunc("jobs.running", func() int64 { return int64(jm.Running()) })
+	return m
+}
+
+// observe records one finished mining run.
+func (m *serverMetrics) observe(source mining.Source, algo string, elapsed time.Duration) {
+	m.total.Inc()
+	m.reg.Counter("mine.source." + string(source)).Inc()
+	m.reg.Counter("mine.algo." + algo).Inc()
+	m.latency.Observe(float64(elapsed.Microseconds()) / 1000)
 }
 
 // DBInfo describes one database in list/stats responses.
@@ -116,19 +250,26 @@ type MinePattern struct {
 	Support int            `json:"support"`
 }
 
-// MineResponse is the result of one mining round.
+// MineResponse is the result of one mining round — the wire projection of
+// mining.Result, shared with the session layer's Result.
 type MineResponse struct {
 	Count     int           `json:"count"`
 	MinCount  int           `json:"min_count"`
-	Source    string        `json:"source"` // fresh | filtered | recycled
-	Based     string        `json:"based_on,omitempty"`
+	Source    mining.Source `json:"source"` // fresh | filtered | recycled
+	BasedOn   string        `json:"based_on,omitempty"`
 	ElapsedMS float64       `json:"elapsed_ms"`
 	SavedAs   string        `json:"saved_as,omitempty"`
-	Patterns  []MinePattern `json:"patterns,omitempty"`
+	// SaveSkipped is set when save_as was requested but the database was
+	// replaced while mining ran, so the stale result was not saved.
+	SaveSkipped bool          `json:"save_skipped,omitempty"`
+	Patterns    []MinePattern `json:"patterns,omitempty"`
 }
 
+// apiError is the structured error body. Code is machine-readable:
+// "deadline" and "cancelled" accompany 503, "queue_full" 429.
 type apiError struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -139,6 +280,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func fail(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func failCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
 func (s *Server) get(id string) (*entry, bool) {
@@ -186,11 +331,18 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, "empty database")
 		return
 	}
-	e := &entry{db: db, stats: db.Stats(), sets: map[string]*savedSet{}}
 	s.mu.Lock()
-	_, existed := s.dbs[id]
-	s.dbs[id] = e
+	e, existed := s.dbs[id]
+	if !existed {
+		e = &entry{sets: map[string]*savedSet{}}
+		s.dbs[id] = e
+	}
 	s.mu.Unlock()
+	e.mu.Lock()
+	e.db, e.stats = db, db.Stats()
+	e.sets = map[string]*savedSet{}
+	e.version++
+	e.mu.Unlock()
 	status := http.StatusCreated
 	if existed {
 		status = http.StatusOK
@@ -233,13 +385,16 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	e.mu.Lock()
+	numTx := e.stats.NumTx
+	e.mu.Unlock()
 	min := req.MinCount
 	if min == 0 && req.MinSupport > 0 {
 		if req.MinSupport >= 1 {
 			fail(w, http.StatusBadRequest, "min_support must be a fraction below 1")
 			return
 		}
-		min = mining.MinCount(e.stats.NumTx, req.MinSupport)
+		min = mining.MinCount(numTx, req.MinSupport)
 	}
 	if min < 1 {
 		fail(w, http.StatusBadRequest, "need min_count >= 1 or min_support in (0,1)")
@@ -250,74 +405,174 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	resp, err := mineLocked(e, req, min)
+	if r.URL.Query().Get("async") == "1" {
+		s.enqueueMine(w, e, req, min)
+		return
+	}
+
+	resp, err := s.mine(r.Context(), e, req, min)
 	if err != nil {
-		fail(w, http.StatusBadRequest, "%v", err)
+		s.failMine(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// mineLocked runs one round; caller holds e.mu.
-func mineLocked(e *entry, req MineRequest, min int) (*MineResponse, error) {
-	start := time.Now()
-	resp := &MineResponse{MinCount: min}
+// failMine maps a mining error to its status: cancellations and deadline
+// expiries are 503 (the service shed the request), anything else 400.
+func (s *Server) failMine(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		failCode(w, http.StatusServiceUnavailable, "deadline", "mining aborted: %v", err)
+	case errors.Is(err, context.Canceled):
+		failCode(w, http.StatusServiceUnavailable, "cancelled", "mining aborted: %v", err)
+	default:
+		fail(w, http.StatusBadRequest, "%v", err)
+	}
+}
 
-	var patterns []mining.Pattern
+// enqueueMine submits the request to the async worker pool.
+func (s *Server) enqueueMine(w http.ResponseWriter, e *entry, req MineRequest, min int) {
+	job, err := s.jobs.Submit(func(ctx context.Context) (any, error) {
+		return s.mine(ctx, e, req, min)
+	})
+	if err != nil {
+		s.met.rejected.Inc()
+		code, status := "queue_full", http.StatusTooManyRequests
+		if errors.Is(err, jobs.ErrShutdown) {
+			code, status = "shutting_down", http.StatusServiceUnavailable
+		}
+		failCode(w, status, code, "%v", err)
+		return
+	}
+	s.met.submitted.Inc()
+	writeJSON(w, http.StatusAccepted, job.Snapshot())
+}
+
+// minePlan is the input snapshot one mining run works from, taken under the
+// entry lock so the run itself holds no locks.
+type minePlan struct {
+	db      *dataset.DB
+	version int64
+	source  mining.Source
+	basedOn string
+	base    []mining.Pattern // patterns of the reused saved set (immutable)
+}
+
+// plan chooses the source — fresh, filtered, or recycled — exactly as the
+// paper's decision tree prescribes, and snapshots everything the run needs.
+func plan(e *entry, req MineRequest, min int) (minePlan, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p := minePlan{db: e.db, version: e.version}
 	switch use := req.Use; {
 	case use == "fresh":
-		var col mining.Collector
-		if err := hmine.New().Mine(e.db, min, &col); err != nil {
-			return nil, err
-		}
-		patterns = col.Patterns
-		resp.Source = "fresh"
+		p.source = mining.SourceFresh
 
 	case use == "" || use == "auto":
 		if name, set := bestSet(e.sets); set != nil {
+			p.basedOn, p.base = name, set.patterns
 			if set.minCount <= min {
-				patterns = core.FilterTightened(set.patterns, min)
-				resp.Source = "filtered"
+				p.source = mining.SourceFiltered
 			} else {
-				var err error
-				patterns, err = recycle(e.db, set.patterns, min)
-				if err != nil {
-					return nil, err
-				}
-				resp.Source = "recycled"
+				p.source = mining.SourceRecycled
 			}
-			resp.Based = name
 		} else {
-			var col mining.Collector
-			if err := hmine.New().Mine(e.db, min, &col); err != nil {
-				return nil, err
-			}
-			patterns = col.Patterns
-			resp.Source = "fresh"
+			p.source = mining.SourceFresh
 		}
 
 	default:
 		set, ok := e.sets[use]
 		if !ok {
-			return nil, fmt.Errorf("no saved pattern set %q", use)
+			return p, fmt.Errorf("no saved pattern set %q", use)
 		}
-		var err error
-		patterns, err = recycle(e.db, set.patterns, min)
-		if err != nil {
-			return nil, err
-		}
-		resp.Source = "recycled"
-		resp.Based = use
+		p.source = mining.SourceRecycled
+		p.basedOn, p.base = use, set.patterns
+	}
+	return p, nil
+}
+
+// mine runs one round: snapshot inputs under the entry lock, mine unlocked
+// under ctx (plus the configured per-request deadline), then re-acquire the
+// lock to save. Concurrent saves are last-writer-wins; a save against a
+// database replaced mid-run is skipped (version check) so stale patterns
+// never shadow fresh data.
+func (s *Server) mine(ctx context.Context, e *entry, req MineRequest, min int) (*MineResponse, error) {
+	if s.mineTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.mineTimeout)
+		defer cancel()
+	}
+	p, err := plan(e, req, min)
+	if err != nil {
+		return nil, err
+	}
+	if s.mineHook != nil {
+		s.mineHook()
 	}
 
-	resp.Count = len(patterns)
-	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
-	if req.SaveAs != "" {
-		e.sets[req.SaveAs] = &savedSet{patterns: patterns, minCount: min, saved: time.Now()}
-		resp.SavedAs = req.SaveAs
+	s.met.inFlight.Add(1)
+	defer s.met.inFlight.Add(-1)
+	start := time.Now()
+	var patterns []mining.Pattern
+	var algo string
+	switch p.source {
+	case mining.SourceFiltered:
+		algo = "filter"
+		patterns = core.FilterTightened(p.base, min)
+
+	case mining.SourceFresh:
+		miner := hmine.New()
+		algo = miner.Name()
+		var col mining.Collector
+		if err := miner.MineContext(ctx, p.db, min, &col); err != nil {
+			return nil, s.mineFailed(err)
+		}
+		patterns = col.Patterns
+
+	case mining.SourceRecycled:
+		engine := rphmine.New()
+		algo = engine.Name()
+		cdb, err := core.CompressContext(ctx, p.db, p.base, core.MCP)
+		if err != nil {
+			return nil, s.mineFailed(err)
+		}
+		s.met.ratio.Observe(cdb.Stats().Ratio)
+		var col mining.Collector
+		if err := engine.MineCDBContext(ctx, cdb, min, &col); err != nil {
+			return nil, s.mineFailed(err)
+		}
+		patterns = col.Patterns
 	}
+	elapsed := time.Since(start)
+	s.met.observe(p.source, algo, elapsed)
+
+	res := mining.Result{
+		Patterns: patterns,
+		Source:   p.source,
+		BasedOn:  p.basedOn,
+		MinCount: min,
+		Elapsed:  elapsed,
+	}
+	resp := &MineResponse{
+		Count:     len(res.Patterns),
+		MinCount:  res.MinCount,
+		Source:    res.Source,
+		BasedOn:   res.BasedOn,
+		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
+	}
+
+	if req.SaveAs != "" {
+		e.mu.Lock()
+		if e.version == p.version {
+			e.sets[req.SaveAs] = &savedSet{patterns: patterns, minCount: min, saved: time.Now()}
+			resp.SavedAs = req.SaveAs
+		} else {
+			resp.SaveSkipped = true
+		}
+		e.mu.Unlock()
+	}
+
 	if req.Limit > 0 {
 		n := req.Limit
 		if n > len(patterns) {
@@ -331,18 +586,18 @@ func mineLocked(e *entry, req MineRequest, min int) (*MineResponse, error) {
 	return resp, nil
 }
 
-// recycle compresses with fp and mines with the Recycle-HM engine.
-func recycle(db *dataset.DB, fp []mining.Pattern, min int) ([]mining.Pattern, error) {
-	rec := &core.Recycler{FP: fp, Strategy: core.MCP, Engine: rphmine.New()}
-	var col mining.Collector
-	if err := rec.Mine(db, min, &col); err != nil {
-		return nil, err
+// mineFailed records an aborted or failed run in the metrics.
+func (s *Server) mineFailed(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		s.met.cancelled.Inc()
+	} else {
+		s.met.errored.Inc()
 	}
-	return col.Patterns, nil
+	return err
 }
 
 // bestSet picks the saved set with the most patterns (the most recyclable
-// knowledge).
+// knowledge); caller holds e.mu.
 func bestSet(sets map[string]*savedSet) (string, *savedSet) {
 	bestName, best := "", (*savedSet)(nil)
 	for name, s := range sets {
@@ -352,6 +607,31 @@ func bestSet(sets map[string]*savedSet) (string, *savedSet) {
 		}
 	}
 	return bestName, best
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobs.List())
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.Get(id)
+	if !ok {
+		fail(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.jobs.Cancel(id) {
+		fail(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	s.met.killed.Inc()
+	j, _ := s.jobs.Get(id)
+	writeJSON(w, http.StatusOK, j.Snapshot())
 }
 
 // SetInfo describes one saved pattern set.
@@ -388,17 +668,14 @@ func (s *Server) handlePatternGet(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	e.mu.Lock()
 	set, ok := e.sets[name]
-	var out []MinePattern
-	if ok {
-		out = make([]MinePattern, len(set.patterns))
-		for i, p := range set.patterns {
-			out[i] = MinePattern{Items: p.Items, Support: p.Support}
-		}
-	}
 	e.mu.Unlock()
 	if !ok {
 		fail(w, http.StatusNotFound, "no saved pattern set %q", name)
 		return
+	}
+	out := make([]MinePattern, len(set.patterns))
+	for i, p := range set.patterns {
+		out[i] = MinePattern{Items: p.Items, Support: p.Support}
 	}
 	writeJSON(w, http.StatusOK, out)
 }

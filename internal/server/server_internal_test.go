@@ -1,0 +1,76 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"gogreen/internal/dataset"
+)
+
+func newEntry() *entry {
+	db := dataset.New([][]dataset.Item{{1, 2}, {1, 2}, {2, 3}})
+	return &entry{db: db, stats: db.Stats(), sets: map[string]*savedSet{}, version: 1}
+}
+
+// TestSaveVersionCheck proves results mined from a replaced database are not
+// saved over the new data: the save re-acquires the lock and compares the
+// entry version against the mined snapshot's.
+func TestSaveVersionCheck(t *testing.T) {
+	s := New()
+	defer s.Shutdown(context.Background())
+	e := newEntry()
+	s.dbs["d"] = e
+
+	// Replace the database between snapshot and save.
+	s.mineHook = func() {
+		e.mu.Lock()
+		e.db = dataset.New([][]dataset.Item{{9}})
+		e.stats = e.db.Stats()
+		e.version++
+		e.mu.Unlock()
+	}
+	resp, err := s.mine(context.Background(), e, MineRequest{SaveAs: "stale"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.SaveSkipped || resp.SavedAs != "" {
+		t.Fatalf("response = %+v, want save skipped", resp)
+	}
+	if len(e.sets) != 0 {
+		t.Fatalf("stale result was saved: %v", e.sets)
+	}
+
+	// Without a replacement the save lands.
+	s.mineHook = nil
+	resp, err = s.mine(context.Background(), e, MineRequest{SaveAs: "good"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.SavedAs != "good" || resp.SaveSkipped {
+		t.Fatalf("response = %+v, want saved", resp)
+	}
+	if _, ok := e.sets["good"]; !ok {
+		t.Fatal("result not saved")
+	}
+}
+
+// TestSaveLastWriterWins proves concurrent saves under one name resolve to
+// the last writer rather than erroring or corrupting.
+func TestSaveLastWriterWins(t *testing.T) {
+	s := New()
+	defer s.Shutdown(context.Background())
+	e := newEntry()
+	s.dbs["d"] = e
+
+	if _, err := s.mine(context.Background(), e, MineRequest{SaveAs: "x", Use: "fresh"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	first := e.sets["x"]
+	if _, err := s.mine(context.Background(), e, MineRequest{SaveAs: "x", Use: "fresh"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	second := e.sets["x"]
+	if second == first || second.minCount != 1 {
+		t.Fatalf("last writer did not win: first=%p second=%p minCount=%d", first, second, second.minCount)
+	}
+}

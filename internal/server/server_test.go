@@ -86,7 +86,7 @@ func TestUploadMineRecycleFlow(t *testing.T) {
 	resp, body = do(t, "POST", ts.URL+"/db/paper/mine", `{"min_count":2}`)
 	var r2 server.MineResponse
 	json.Unmarshal(body, &r2)
-	if resp.StatusCode != http.StatusOK || r2.Source != "recycled" || r2.Based != "round1" {
+	if resp.StatusCode != http.StatusOK || r2.Source != "recycled" || r2.BasedOn != "round1" {
 		t.Fatalf("round2 = %+v (%d)", r2, resp.StatusCode)
 	}
 	want := len(testutil.Oracle(t, testutil.PaperDB(), 2))
@@ -98,7 +98,7 @@ func TestUploadMineRecycleFlow(t *testing.T) {
 	resp, body = do(t, "POST", ts.URL+"/db/paper/mine", `{"min_count":4}`)
 	var r3 server.MineResponse
 	json.Unmarshal(body, &r3)
-	if r3.Source != "filtered" || r3.Based != "round1" {
+	if r3.Source != "filtered" || r3.BasedOn != "round1" {
 		t.Fatalf("round3 = %+v", r3)
 	}
 	if r3.Count != len(testutil.Oracle(t, testutil.PaperDB(), 4)) {
@@ -242,27 +242,59 @@ func TestBodyLimit(t *testing.T) {
 	}
 }
 
-// TestConcurrentMining hammers one database from several goroutines.
+// TestConcurrentMining hammers one database with parallel mines while other
+// goroutines list databases, read pattern sets, and delete/re-upload a
+// second database — the mixed workload the lock redesign must survive
+// (run under -race).
 func TestConcurrentMining(t *testing.T) {
 	ts := newTestServer(t)
 	do(t, "PUT", ts.URL+"/db/d", basket(t))
+	do(t, "PUT", ts.URL+"/db/churn", basket(t))
 	do(t, "POST", ts.URL+"/db/d/mine", `{"min_count":3,"save_as":"seed"}`)
 
-	done := make(chan error, 8)
-	for g := 0; g < 8; g++ {
+	const miners, readers, churners = 8, 3, 2
+	done := make(chan error, miners+readers+churners)
+	for g := 0; g < miners; g++ {
 		go func(g int) {
 			for i := 0; i < 5; i++ {
-				body := fmt.Sprintf(`{"min_count":%d}`, 1+(g+i)%4)
+				body := fmt.Sprintf(`{"min_count":%d,"save_as":"g%d"}`, 1+(g+i)%4, g)
 				resp, data := do(t, "POST", ts.URL+"/db/d/mine", body)
 				if resp.StatusCode != http.StatusOK {
-					done <- fmt.Errorf("goroutine %d: %d %s", g, resp.StatusCode, data)
+					done <- fmt.Errorf("miner %d: %d %s", g, resp.StatusCode, data)
 					return
 				}
 			}
 			done <- nil
 		}(g)
 	}
-	for g := 0; g < 8; g++ {
+	for g := 0; g < readers; g++ {
+		go func(g int) {
+			for i := 0; i < 10; i++ {
+				if resp, data := do(t, "GET", ts.URL+"/db", ""); resp.StatusCode != http.StatusOK {
+					done <- fmt.Errorf("reader %d list: %d %s", g, resp.StatusCode, data)
+					return
+				}
+				if resp, data := do(t, "GET", ts.URL+"/db/d/patterns", ""); resp.StatusCode != http.StatusOK {
+					done <- fmt.Errorf("reader %d patterns: %d %s", g, resp.StatusCode, data)
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < churners; g++ {
+		go func(g int) {
+			for i := 0; i < 5; i++ {
+				// Deletes race with uploads and may 404; both are fine — the
+				// point is that nothing deadlocks or corrupts under -race.
+				do(t, "DELETE", ts.URL+"/db/churn", "")
+				do(t, "PUT", ts.URL+"/db/churn", "1 2\n2 3\n")
+				do(t, "POST", ts.URL+"/db/churn/mine", `{"min_count":1}`)
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < miners+readers+churners; g++ {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}

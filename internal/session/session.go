@@ -13,6 +13,7 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -24,25 +25,30 @@ import (
 	"gogreen/internal/mining"
 )
 
-// Source says how a round's result was produced.
-type Source string
+// Source says how a round's result was produced. It is the shared
+// mining.Source type, so session results and server responses report
+// provenance identically.
+type Source = mining.Source
 
 // Sources of a result.
 const (
-	SourceFresh    Source = "fresh"    // mined from scratch
-	SourceFiltered Source = "filtered" // filtered from a previous round
-	SourceRecycled Source = "recycled" // mined over a compressed database
+	SourceFresh    = mining.SourceFresh    // mined from scratch
+	SourceFiltered = mining.SourceFiltered // filtered from a previous round
+	SourceRecycled = mining.SourceRecycled // mined over a compressed database
 )
 
-// Result is one round's outcome.
+// Result is one round's outcome. It embeds the unified mining.Result (whose
+// BasedOn is a "round-N" label here, empty for fresh rounds) and adds the
+// numeric history index.
 type Result struct {
-	Patterns []mining.Pattern
-	Source   Source
-	// BasedOn is the index of the history round that was filtered or
-	// recycled, or -1.
-	BasedOn int
-	Elapsed time.Duration
+	mining.Result
+	// Round is the index of the history round that was filtered or
+	// recycled, or -1 for fresh rounds and explicit MineRecycling calls.
+	Round int
 }
+
+// roundLabel renders the BasedOn label for history index i.
+func roundLabel(i int) string { return fmt.Sprintf("round-%d", i) }
 
 // Round is one history entry.
 type Round struct {
@@ -89,8 +95,9 @@ func (s *Session) Rounds() []Round { return s.rounds }
 var ErrNoMinSupport = errors.New("session: constraint set has no minsupport")
 
 // Mine runs one round under the given constraints, choosing filter, recycle
-// or fresh mining automatically, and records the round.
-func (s *Session) Mine(cs constraints.Set) (Result, error) {
+// or fresh mining automatically, and records the round. The context cancels
+// mining cooperatively mid-recursion; a cancelled round is not recorded.
+func (s *Session) Mine(ctx context.Context, cs constraints.Set) (Result, error) {
 	min := constraints.MinSupportOf(cs)
 	if min < 1 {
 		return Result{}, ErrNoMinSupport
@@ -101,28 +108,36 @@ func (s *Session) Mine(cs constraints.Set) (Result, error) {
 	// contains every pattern of the new round.
 	if i := s.filterSource(cs); i >= 0 {
 		patterns := constraints.FilterSet(s.rounds[i].Result.Patterns, cs)
-		res := Result{Patterns: patterns, Source: SourceFiltered, BasedOn: i, Elapsed: time.Since(start)}
+		res := Result{
+			Result: mining.Result{Patterns: patterns, Source: SourceFiltered,
+				BasedOn: roundLabel(i), MinCount: min, Elapsed: time.Since(start)},
+			Round: i,
+		}
 		s.rounds = append(s.rounds, Round{Constraints: cs, Result: res})
 		return res, nil
 	}
 
 	// Recycle path: compress with the biggest previous pattern set.
 	if i := s.recycleSource(); i >= 0 {
-		res, err := s.MineRecycling(cs, s.rounds[i].Result.Patterns)
+		res, err := s.MineRecycling(ctx, cs, s.rounds[i].Result.Patterns)
 		if err != nil {
 			return Result{}, err
 		}
-		res.BasedOn = i
+		res.Round, res.BasedOn = i, roundLabel(i)
 		s.rounds = append(s.rounds, Round{Constraints: cs, Result: res})
 		return res, nil
 	}
 
 	// Fresh path.
 	var col mining.Collector
-	if err := constraints.Mine(s.db, cs, s.baseline, &col); err != nil {
+	if err := constraints.MineContext(ctx, s.db, cs, s.baseline, &col); err != nil {
 		return Result{}, fmt.Errorf("session: fresh mining: %w", err)
 	}
-	res := Result{Patterns: col.Patterns, Source: SourceFresh, BasedOn: -1, Elapsed: time.Since(start)}
+	res := Result{
+		Result: mining.Result{Patterns: col.Patterns, Source: SourceFresh,
+			MinCount: min, Elapsed: time.Since(start)},
+		Round: -1,
+	}
 	s.rounds = append(s.rounds, Round{Constraints: cs, Result: res})
 	return res, nil
 }
@@ -131,7 +146,7 @@ func (s *Session) Mine(cs constraints.Set) (Result, error) {
 // multi-user scenario, where fp was discovered by another session and
 // shipped over a pattern store. The round is not recorded in this session's
 // history (the caller gets the result and decides); Mine records rounds.
-func (s *Session) MineRecycling(cs constraints.Set, fp []mining.Pattern) (Result, error) {
+func (s *Session) MineRecycling(ctx context.Context, cs constraints.Set, fp []mining.Pattern) (Result, error) {
 	min := constraints.MinSupportOf(cs)
 	if min < 1 {
 		return Result{}, ErrNoMinSupport
@@ -139,10 +154,14 @@ func (s *Session) MineRecycling(cs constraints.Set, fp []mining.Pattern) (Result
 	start := time.Now()
 	rec := &core.Recycler{FP: fp, Strategy: s.strategy, Engine: s.engine}
 	var col mining.Collector
-	if err := constraints.Mine(s.db, cs, rec, &col); err != nil {
+	if err := constraints.MineContext(ctx, s.db, cs, rec, &col); err != nil {
 		return Result{}, fmt.Errorf("session: recycling: %w", err)
 	}
-	return Result{Patterns: col.Patterns, Source: SourceRecycled, BasedOn: -1, Elapsed: time.Since(start)}, nil
+	return Result{
+		Result: mining.Result{Patterns: col.Patterns, Source: SourceRecycled,
+			MinCount: min, Elapsed: time.Since(start)},
+		Round: -1,
+	}, nil
 }
 
 // filterSource returns the most recent history round whose constraints are

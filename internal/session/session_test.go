@@ -1,6 +1,7 @@
 package session_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestIterativeRefinement(t *testing.T) {
 	db := testutil.PaperDB()
 	s := session.New(db, session.WithEngine(rphmine.New()))
 
-	res1, err := s.Mine(constraints.Set{constraints.MinSupport{Count: 4}})
+	res1, err := s.Mine(context.Background(), constraints.Set{constraints.MinSupport{Count: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,24 +44,24 @@ func TestIterativeRefinement(t *testing.T) {
 	}
 
 	// Relax: must recycle round 1.
-	res2, err := s.Mine(constraints.Set{constraints.MinSupport{Count: 2}})
+	res2, err := s.Mine(context.Background(), constraints.Set{constraints.MinSupport{Count: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res2.Source != session.SourceRecycled || res2.BasedOn != 0 {
-		t.Errorf("round 2 = %s based on %d, want recycled/0", res2.Source, res2.BasedOn)
+	if res2.Source != session.SourceRecycled || res2.Round != 0 {
+		t.Errorf("round 2 = %s based on %d, want recycled/0", res2.Source, res2.Round)
 	}
 	if !toSet(t, res2.Patterns).Equal(testutil.Oracle(t, db, 2)) {
 		t.Error("round 2 patterns wrong")
 	}
 
 	// Tighten: must filter round 2, exactly reproducing a fresh mine at 3.
-	res3, err := s.Mine(constraints.Set{constraints.MinSupport{Count: 3}})
+	res3, err := s.Mine(context.Background(), constraints.Set{constraints.MinSupport{Count: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res3.Source != session.SourceFiltered || res3.BasedOn != 1 {
-		t.Errorf("round 3 = %s based on %d, want filtered/1", res3.Source, res3.BasedOn)
+	if res3.Source != session.SourceFiltered || res3.Round != 1 {
+		t.Errorf("round 3 = %s based on %d, want filtered/1", res3.Source, res3.Round)
 	}
 	if !toSet(t, res3.Patterns).Equal(testutil.Oracle(t, db, 3)) {
 		t.Error("round 3 patterns wrong")
@@ -77,7 +78,7 @@ func TestConstraintChange(t *testing.T) {
 	s := session.New(db)
 
 	cs1 := constraints.Set{constraints.MinSupport{Count: 2}, constraints.MaxLength{N: 4}}
-	r1, err := s.Mine(cs1)
+	r1, err := s.Mine(context.Background(), cs1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestConstraintChange(t *testing.T) {
 
 	// Tighten the length bound: filter path.
 	cs2 := constraints.Set{constraints.MinSupport{Count: 2}, constraints.MaxLength{N: 2}}
-	r2, err := s.Mine(cs2)
+	r2, err := s.Mine(context.Background(), cs2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestConstraintChange(t *testing.T) {
 
 	// Relax the length bound: recycle path, but results must still be exact.
 	cs3 := constraints.Set{constraints.MinSupport{Count: 2}, constraints.MaxLength{N: 3}}
-	r3, err := s.Mine(cs3)
+	r3, err := s.Mine(context.Background(), cs3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,13 +128,13 @@ func TestConstraintChange(t *testing.T) {
 func TestMultiUserRecycling(t *testing.T) {
 	db := testutil.PaperDB()
 	alice := session.New(db)
-	resA, err := alice.Mine(constraints.Set{constraints.MinSupport{Count: 3}})
+	resA, err := alice.Mine(context.Background(), constraints.Set{constraints.MinSupport{Count: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	bob := session.New(db, session.WithStrategy(core.MLP))
-	resB, err := bob.MineRecycling(constraints.Set{constraints.MinSupport{Count: 2}}, resA.Patterns)
+	resB, err := bob.MineRecycling(context.Background(), constraints.Set{constraints.MinSupport{Count: 2}}, resA.Patterns)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestRandomizedSessions(t *testing.T) {
 			if min < 1 {
 				min = 1
 			}
-			res, err := s.Mine(constraints.Set{constraints.MinSupport{Count: min}})
+			res, err := s.Mine(context.Background(), constraints.Set{constraints.MinSupport{Count: min}})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -172,7 +173,21 @@ func TestRandomizedSessions(t *testing.T) {
 
 func TestNoMinSupport(t *testing.T) {
 	s := session.New(testutil.PaperDB())
-	if _, err := s.Mine(constraints.Set{constraints.MaxLength{N: 3}}); err != session.ErrNoMinSupport {
+	if _, err := s.Mine(context.Background(), constraints.Set{constraints.MaxLength{N: 3}}); err != session.ErrNoMinSupport {
 		t.Errorf("got %v, want ErrNoMinSupport", err)
+	}
+}
+
+// TestMineCancelled proves a cancelled context aborts a round and leaves the
+// history untouched.
+func TestMineCancelled(t *testing.T) {
+	s := session.New(testutil.PaperDB())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Mine(ctx, constraints.Set{constraints.MinSupport{Count: 2}}); err == nil {
+		t.Fatal("mine with cancelled context succeeded")
+	}
+	if len(s.Rounds()) != 0 {
+		t.Fatalf("cancelled round was recorded: %d rounds", len(s.Rounds()))
 	}
 }
