@@ -148,6 +148,11 @@ func MinCount(numTx int, frac float64) int { return mining.MinCount(numTx, frac)
 // WithMinCount nor WithMinSupport was given.
 var ErrNoThreshold = errors.New("gogreen: no support threshold (use WithMinCount or WithMinSupport)")
 
+// ErrBadMinSupport is returned by Mine and MineRecycling when WithMinSupport
+// was given a value outside (0, 1); a relative threshold of 1 or more would
+// exceed |DB| and silently yield no patterns.
+var ErrBadMinSupport = errors.New("gogreen: min support must be a fraction in (0, 1)")
+
 // MineOptions collects the tunables of Mine and MineRecycling. Construct it
 // through the With... functional options.
 type MineOptions struct {
@@ -172,7 +177,9 @@ type MineOption func(*MineOptions)
 // WithMinCount sets the absolute support threshold.
 func WithMinCount(n int) MineOption { return func(o *MineOptions) { o.MinCount = n } }
 
-// WithMinSupport sets the relative support threshold (fraction of |DB|).
+// WithMinSupport sets the relative support threshold as a fraction of |DB|,
+// which must be in (0, 1); Mine and MineRecycling reject values >= 1 with
+// ErrBadMinSupport.
 func WithMinSupport(frac float64) MineOption { return func(o *MineOptions) { o.MinSupport = frac } }
 
 // WithStrategy selects the compression strategy for MineRecycling.
@@ -193,6 +200,9 @@ func resolve(db *DB, opts []MineOption) (MineOptions, int, error) {
 	}
 	min := o.MinCount
 	if min < 1 && o.MinSupport > 0 {
+		if o.MinSupport >= 1 {
+			return o, 0, ErrBadMinSupport
+		}
 		min = MinCount(db.Len(), o.MinSupport)
 	}
 	if min < 1 {

@@ -152,6 +152,18 @@ func TestFacadeOptions(t *testing.T) {
 	if _, err := MineRecycling(ctx, db, nil); err != ErrNoThreshold {
 		t.Errorf("recycling missing threshold: %v", err)
 	}
+	// A relative threshold of 1 or more is rejected rather than silently
+	// resolving to a count above |DB| (which would mine zero patterns).
+	if _, err := Mine(ctx, db, HMine, WithMinSupport(1.5)); err != ErrBadMinSupport {
+		t.Errorf("min support 1.5: %v", err)
+	}
+	if _, err := MineRecycling(ctx, db, nil, WithMinSupport(1)); err != ErrBadMinSupport {
+		t.Errorf("recycling min support 1: %v", err)
+	}
+	// An explicit MinCount still wins over an out-of-range fraction.
+	if _, err := Mine(ctx, db, HMine, WithMinCount(3), WithMinSupport(1.5)); err != nil {
+		t.Errorf("min count with stray fraction: %v", err)
+	}
 }
 
 // TestFacadeCancellation proves both entry points honor a cancelled context.

@@ -63,22 +63,32 @@ func (j *Job) ID() string { return j.id }
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-// Snapshot is a point-in-time copy of a job's state.
+// Snapshot is a point-in-time copy of a job's state. Started and Finished
+// are pointers so jobs that have not reached those states omit the fields
+// instead of serializing the zero time.
 type Snapshot struct {
-	ID       string    `json:"id"`
-	Status   Status    `json:"status"`
-	Created  time.Time `json:"created"`
-	Started  time.Time `json:"started,omitempty"`
-	Finished time.Time `json:"finished,omitempty"`
-	Result   any       `json:"result,omitempty"`
-	Error    string    `json:"error,omitempty"`
+	ID       string     `json:"id"`
+	Status   Status     `json:"status"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Result   any        `json:"result,omitempty"`
+	Error    string     `json:"error,omitempty"`
 }
 
 // Snapshot copies the job's current state.
 func (j *Job) Snapshot() Snapshot {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	s := Snapshot{ID: j.id, Status: j.status, Created: j.created, Started: j.started, Finished: j.finished}
+	s := Snapshot{ID: j.id, Status: j.status, Created: j.created}
+	if !j.started.IsZero() {
+		t := j.started
+		s.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.Finished = &t
+	}
 	if j.status == StatusDone {
 		s.Result = j.result
 	}
@@ -218,6 +228,9 @@ func (m *Manager) Cancel(id string) bool {
 	if !ok {
 		return false
 	}
+	// Lock order is m.mu -> j.mu everywhere (Submit holds m.mu and takes j.mu
+	// via evictLocked), so m.queued must be updated after releasing j.mu.
+	wasQueued := false
 	j.mu.Lock()
 	switch j.status {
 	case StatusQueued:
@@ -225,13 +238,16 @@ func (m *Manager) Cancel(id string) bool {
 		j.err = context.Canceled
 		j.finished = time.Now()
 		close(j.done)
-		m.mu.Lock()
-		m.queued--
-		m.mu.Unlock()
+		wasQueued = true
 	case StatusRunning:
 		j.cancel(context.Canceled)
 	}
 	j.mu.Unlock()
+	if wasQueued {
+		m.mu.Lock()
+		m.queued--
+		m.mu.Unlock()
+	}
 	return true
 }
 

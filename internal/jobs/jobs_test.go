@@ -2,7 +2,10 @@ package jobs
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -98,6 +101,77 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 	// Cancelling a terminal job is a harmless no-op.
 	if !m.Cancel(running.ID()) {
 		t.Fatal("re-cancel returned false")
+	}
+}
+
+// TestCancelDuringEviction races Submit-triggered eviction (which holds m.mu
+// and takes each job's j.mu via Snapshot) against Cancel of queued jobs. A
+// j.mu -> m.mu acquisition inside Cancel deadlocks this test; run under
+// -race and -timeout it is the regression guard for the lock order.
+func TestCancelDuringEviction(t *testing.T) {
+	m := New(2, 64)
+	m.retain = 4 // evict on nearly every Submit
+	defer m.Shutdown(context.Background())
+
+	ids := make(chan string, 256)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for id := range ids {
+			m.Cancel(id)
+		}
+	}()
+	for i := 0; i < 300; i++ {
+		j, err := m.Submit(func(context.Context) (any, error) { return nil, nil })
+		if err != nil {
+			if errors.Is(err, ErrQueueFull) {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			t.Fatal(err)
+		}
+		ids <- j.ID()
+	}
+	close(ids)
+	wg.Wait()
+	if m.Depth() < 0 {
+		t.Fatalf("queue depth went negative: %d", m.Depth())
+	}
+}
+
+// TestSnapshotOmitsZeroTimes checks that a queued job's JSON has no
+// started/finished fields and that they appear once set.
+func TestSnapshotOmitsZeroTimes(t *testing.T) {
+	m := New(1, 2)
+	defer m.Shutdown(context.Background())
+	release := make(chan struct{})
+	blocker, err := m.Submit(func(ctx context.Context) (any, error) { <-release; return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Running() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	queued, err := m.Submit(func(context.Context) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(queued.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := string(b); strings.Contains(s, `"started"`) || strings.Contains(s, `"finished"`) {
+		t.Fatalf("queued snapshot leaks zero times: %s", s)
+	}
+	close(release)
+	wait(t, blocker)
+	if s := wait(t, queued); s.Started == nil || s.Finished == nil {
+		t.Fatalf("finished snapshot missing times: %+v", s)
 	}
 }
 

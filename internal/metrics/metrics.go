@@ -43,7 +43,9 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Histogram accumulates observations into fixed upper-bound buckets, plus
-// count/sum/min/max. Bounds are cumulative upper bounds; an implicit +Inf
+// count/sum/min/max. Buckets are disjoint intervals, not Prometheus-style
+// cumulative ones: each observation lands in exactly one bucket, the one
+// whose range (previous bound, upper bound] contains it; an implicit +Inf
 // bucket catches the rest.
 type Histogram struct {
 	mu       sync.Mutex
@@ -86,8 +88,9 @@ func (h *Histogram) Observe(v float64) {
 	h.mu.Unlock()
 }
 
-// Bucket is one histogram bucket in a snapshot: the count of observations at
-// or below the upper bound Le (math.Inf(1) renders as "+Inf").
+// Bucket is one histogram bucket in a snapshot: the count of observations
+// in the interval (previous bound, Le]. Counts are per-interval, NOT
+// cumulative Prometheus le-style; math.Inf(1) renders as "+Inf".
 type Bucket struct {
 	Le    float64 `json:"le"`
 	Count int64   `json:"count"`

@@ -625,12 +625,14 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.jobs.Cancel(id) {
+	// Hold the *Job before cancelling: a concurrent Submit may evict the
+	// now-terminal job from the manager, making a later Get return nil.
+	j, ok := s.jobs.Get(id)
+	if !ok || !s.jobs.Cancel(id) {
 		fail(w, http.StatusNotFound, "no job %q", id)
 		return
 	}
 	s.met.killed.Inc()
-	j, _ := s.jobs.Get(id)
 	writeJSON(w, http.StatusOK, j.Snapshot())
 }
 
