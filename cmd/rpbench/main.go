@@ -1,0 +1,66 @@
+// Command rpbench runs the repository's performance benchmark grid and
+// writes the BENCH_compress.json / BENCH_mine.json baselines.
+//
+// The compress experiment measures phase one of recycling — the naive
+// serial scan, the indexed serial engine, and the sharded parallel engine —
+// on dense Connect-4-style workloads, reporting ns/op, allocs/op, the
+// compression ratio, and the speedup against the serial scan. The mine
+// experiment measures fresh H-Mine against recycled and parallel mining.
+//
+// Usage:
+//
+//	go run ./cmd/rpbench              # full grid, writes ./BENCH_*.json
+//	go run ./cmd/rpbench -quick       # CI smoke: smaller inputs, same files
+//	go run ./cmd/rpbench -scale 0.02 -out bench-out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gogreen/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run smaller inputs (CI smoke mode)")
+	scale := flag.Float64("scale", 0.01, "dataset scale for preset workloads (1.0 = paper size)")
+	out := flag.String("out", ".", "directory for the BENCH_*.json files")
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	for _, exp := range []struct {
+		file string
+		run  func(bench.Config, bool) (bench.PerfReport, error)
+	}{
+		{"BENCH_compress.json", bench.CompressPerf},
+		{"BENCH_mine.json", bench.MinePerf},
+	} {
+		rep, err := exp.run(cfg, *quick)
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*out, exp.file)
+		if err := os.WriteFile(path, rep.JSON(), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+		for _, e := range rep.Entries {
+			fmt.Printf("  %-12s %-14s %12.0f ns/op  %8d allocs/op", e.Dataset, e.Variant, e.NsPerOp, e.AllocsPerOp)
+			if e.SpeedupVsSerial > 0 {
+				fmt.Printf("  %5.2fx", e.SpeedupVsSerial)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rpbench:", err)
+	os.Exit(1)
+}

@@ -169,6 +169,10 @@ type MineOptions struct {
 	// Sink, when set, streams patterns instead of collecting them: the sink
 	// receives every pattern and Result.Patterns stays nil.
 	Sink Sink
+	// CompressWorkers shards the compression phase of MineRecycling across
+	// worker goroutines; <= 0 means GOMAXPROCS. Output is byte-identical at
+	// any worker count.
+	CompressWorkers int
 }
 
 // MineOption configures one call of Mine or MineRecycling.
@@ -191,6 +195,11 @@ func WithEngine(a Algorithm) MineOption { return func(o *MineOptions) { o.Engine
 // WithSink streams patterns to sink instead of collecting them in the
 // Result.
 func WithSink(s Sink) MineOption { return func(o *MineOptions) { o.Sink = s } }
+
+// WithCompressWorkers shards the compression phase of MineRecycling over n
+// workers (default GOMAXPROCS). Compression output — and therefore the mined
+// result — is byte-identical at any worker count.
+func WithCompressWorkers(n int) MineOption { return func(o *MineOptions) { o.CompressWorkers = n } }
 
 // resolve applies the options and computes the absolute threshold.
 func resolve(db *DB, opts []MineOption) (MineOptions, int, error) {
@@ -245,6 +254,13 @@ func Compress(db *DB, recycled []Pattern, strat Strategy) *CDB {
 	return core.Compress(db, recycled, strat)
 }
 
+// CompressParallel is Compress sharded over worker goroutines (<= 0 means
+// GOMAXPROCS) with cooperative cancellation; its output is byte-identical to
+// Compress at any worker count.
+func CompressParallel(ctx context.Context, db *DB, recycled []Pattern, strat Strategy, workers int) (*CDB, error) {
+	return core.CompressParallel(ctx, db, recycled, strat, workers)
+}
+
 // MineRecycling runs the full two-phase scheme under ctx: compress db with
 // the recycled patterns, then mine the compressed database. Strategy and
 // engine default to MCP and RecycleHMine; override with WithStrategy and
@@ -259,7 +275,7 @@ func MineRecycling(ctx context.Context, db *DB, recycled []Pattern, opts ...Mine
 		return Result{}, err
 	}
 	start := time.Now()
-	rec := &core.Recycler{FP: recycled, Strategy: o.Strategy, Engine: eng}
+	rec := &core.Recycler{FP: recycled, Strategy: o.Strategy, Engine: eng, CompressWorkers: o.CompressWorkers}
 	var c Collector
 	sink, collected := o.Sink, false
 	if sink == nil {

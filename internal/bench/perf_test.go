@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"gogreen/internal/gen"
+)
+
+// TestDenseDeepConfig guards the acceptance workload: the config must be
+// valid and its predicted frequent-pattern population at ξ_old must be well
+// past the >= 1000 recycled patterns the compression benchmark requires.
+func TestDenseDeepConfig(t *testing.T) {
+	cfg := DenseDeepConfig(600)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n := gen.PatternCountAt(cfg, DenseDeepXiOld); n < 1000 {
+		t.Fatalf("predicted %0.f patterns at ξ_old=%g, need >= 1000", n, DenseDeepXiOld)
+	}
+}
+
+// TestPerfReportJSON checks the BENCH_*.json schema round-trips.
+func TestPerfReportJSON(t *testing.T) {
+	rep := PerfReport{
+		Experiment: "compress",
+		Scale:      0.01,
+		GoVersion:  "go0.0",
+		GOMAXPROCS: 1,
+		Entries: []PerfEntry{
+			{Experiment: "compress", Dataset: "dense-deep", Variant: "scan", NsPerOp: 2.5e6, AllocsPerOp: 10, SpeedupVsSerial: 1},
+			{Experiment: "compress", Dataset: "dense-deep", Variant: "parallel-4w", Workers: 4, NsPerOp: 5e5, SpeedupVsSerial: 5},
+		},
+	}
+	var back PerfReport
+	if err := json.Unmarshal(rep.JSON(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != 2 || back.Entries[1].Workers != 4 || back.Entries[0].NsPerOp != 2.5e6 {
+		t.Fatalf("round trip mangled: %+v", back)
+	}
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+)
+
+// This file is the indexed, parallel compression engine — the hot path of
+// phase one of recycling. The naive cover loop (CompressRankedScan) tests
+// every tuple against the full ranked pattern list; on dense databases with
+// thousands of recycled patterns that is O(|DB|·|FP|) containment probes.
+// The engine here cuts both factors:
+//
+//   - Candidate pruning. An inverted index keys every ranked pattern on its
+//     rarest item (by database item count). A pattern can only cover tuples
+//     that contain its rarest item, so a tuple consults just the candidate
+//     lists of its own items instead of the whole ranked list. Patterns
+//     mentioning an item the database does not contain can never cover
+//     anything and are dropped from the index outright.
+//
+//   - Rank-order short circuit. Candidate lists hold pattern ordinals in
+//     ascending rank order, so the per-tuple merge walks each list only
+//     while its head precedes the best cover found so far and stops a list
+//     at its first containment hit — the first hit in global rank order is
+//     by definition the cover, exactly as in the serial scan.
+//
+//   - Word-parallel containment. Tuples are exposed as item bitsets;
+//     each live pattern precomputes its (word, mask) pairs, so one
+//     containment probe is a handful of 64-bit AND/compare operations
+//     instead of a per-item merge walk.
+//
+//   - Dense group slots. Pattern identity inside one compression run is its
+//     rank ordinal, so the group registry is a []int32 indexed by ordinal —
+//     no mining.Key string is built and no map is touched per covered tuple.
+//
+// CompressParallel shards the tuple range across workers and replays the
+// per-shard cover decisions in tuple-id order, so its output is
+// byte-identical to the serial engine (and to the naive scan) by
+// construction.
+
+// noCover marks a tuple no ranked pattern contains.
+const noCover = int32(math.MaxInt32)
+
+// wordMask is one 64-bit word of a pattern's item bitset.
+type wordMask struct {
+	w int32
+	m uint64
+}
+
+// maskSpan locates one pattern's words inside PatternIndex.masks.
+type maskSpan struct {
+	off, n int32
+}
+
+// PatternIndex is an immutable candidate index over one ranked pattern list,
+// safe for concurrent readers. Build it once with NewPatternIndex and share
+// it across shards of the same compression run.
+type PatternIndex struct {
+	ranked []RankedPattern
+	// byItem[it] lists the ordinals (ascending) of live patterns whose
+	// rarest item is it.
+	byItem [][]int32
+	// masks/spans hold each live pattern's bitset words; dead patterns
+	// (mentioning items absent from the database) keep an empty span.
+	masks []wordMask
+	spans []maskSpan
+	// universal is the lowest ordinal of an empty pattern (contained in
+	// every tuple, covering even the empty tuple), or noCover.
+	universal int32
+	// words is the tuple-bitset length in 64-bit words.
+	words int
+}
+
+// NewPatternIndex indexes ranked for the database whose per-item supports
+// are itemCounts (dataset.DB.ItemCounts). Ordinals are positions in ranked,
+// so the index honors whatever order the caller chose — utility rank from
+// RankPatterns or an explicit ablation order.
+func NewPatternIndex(ranked []RankedPattern, itemCounts []int) *PatternIndex {
+	idx := &PatternIndex{
+		ranked:    ranked,
+		byItem:    make([][]int32, len(itemCounts)),
+		spans:     make([]maskSpan, len(ranked)),
+		universal: noCover,
+		words:     (len(itemCounts) + 63) / 64,
+	}
+
+	// Counting pass: classify each pattern (universal / dead / live), find
+	// its rarest item, and size the mask and candidate-list arrays exactly,
+	// so the fill pass below never reallocates. On deep recycled sets the
+	// index is rebuilt per compression run over 10^4..10^5 patterns, so
+	// append-driven growth would dominate the build.
+	rarest := make([]int32, len(ranked))
+	perItem := make([]int32, len(itemCounts))
+	totalWords, live := 0, 0
+	for i := range ranked {
+		items := ranked[i].Items
+		if len(items) == 0 {
+			if idx.universal == noCover {
+				idx.universal = int32(i)
+			}
+			rarest[i] = -1
+			continue
+		}
+		r, alive := rarestItem(items, itemCounts)
+		if !alive {
+			rarest[i] = -1
+			continue // mentions an absent item: can never cover a tuple
+		}
+		rarest[i] = int32(r)
+		perItem[r]++
+		live++
+		lastW, n := int32(-1), int32(0)
+		for _, it := range items {
+			if w := int32(it) >> 6; w != lastW {
+				n++
+				lastW = w
+			}
+		}
+		idx.spans[i].n = n
+		totalWords += int(n)
+	}
+
+	// Slice the candidate lists out of one backing array; appends happen in
+	// ascending pattern ordinal, so every list comes out rank-ordered.
+	backing := make([]int32, 0, live)
+	for it, n := range perItem {
+		if n > 0 {
+			off := len(backing)
+			backing = backing[:off+int(n)]
+			idx.byItem[it] = backing[off : off : off+int(n)]
+		}
+	}
+
+	idx.masks = make([]wordMask, totalWords)
+	off := int32(0)
+	for i := range ranked {
+		if rarest[i] < 0 {
+			continue
+		}
+		idx.spans[i].off = off
+		lastW := int32(-1)
+		w := off - 1
+		for _, it := range ranked[i].Items {
+			if ww := int32(it) >> 6; ww != lastW {
+				w++
+				idx.masks[w].w = ww
+				lastW = ww
+			}
+			idx.masks[w].m |= 1 << (uint(it) & 63)
+		}
+		off += idx.spans[i].n
+		r := rarest[i]
+		idx.byItem[r] = append(idx.byItem[r], int32(i))
+	}
+	return idx
+}
+
+// rarestItem returns the item of the sorted pattern with the lowest database
+// count (ties to the smaller id), and whether every item occurs at all.
+func rarestItem(items []dataset.Item, itemCounts []int) (dataset.Item, bool) {
+	rarest, best := dataset.Item(-1), -1
+	for _, it := range items {
+		if int(it) >= len(itemCounts) || itemCounts[it] == 0 {
+			return 0, false
+		}
+		if best < 0 || itemCounts[it] < best {
+			rarest, best = it, itemCounts[it]
+		}
+	}
+	return rarest, true
+}
+
+// coverer is the per-worker mutable state of the cover loop: one reusable
+// tuple bitset over the shared index.
+type coverer struct {
+	idx  *PatternIndex
+	bits []uint64
+}
+
+func newCoverer(idx *PatternIndex) *coverer {
+	return &coverer{idx: idx, bits: make([]uint64, idx.words)}
+}
+
+// contains reports whether live pattern ord is a subset of the tuple
+// currently loaded into the bitset.
+func (c *coverer) contains(ord int32) bool {
+	s := c.idx.spans[ord]
+	for _, wm := range c.idx.masks[s.off : s.off+s.n] {
+		if c.bits[wm.w]&wm.m != wm.m {
+			return false
+		}
+	}
+	return true
+}
+
+// cover returns the ordinal of the first (lowest-ordinal, i.e. highest-rank)
+// pattern containing t, or -1. Candidates are drawn from the lists of t's
+// own items; each list is walked in ascending ordinal order only while it
+// can still beat the best hit so far.
+func (c *coverer) cover(t []dataset.Item) int32 {
+	idx := c.idx
+	for _, it := range t {
+		c.bits[int(it)>>6] |= 1 << (uint(it) & 63)
+	}
+	best := idx.universal
+	for _, it := range t {
+		for _, ord := range idx.byItem[it] {
+			if ord >= best {
+				break
+			}
+			if c.contains(ord) {
+				best = ord
+				break
+			}
+		}
+	}
+	for _, it := range t {
+		c.bits[int(it)>>6] = 0
+	}
+	if best == noCover {
+		return -1
+	}
+	return best
+}
+
+// shardCover is one worker's cover decisions for a contiguous tuple range:
+// the covering ordinal (or -1) and the precomputed tail per tuple.
+type shardCover struct {
+	ords  []int32
+	tails [][]dataset.Item
+	err   error
+}
+
+// coverRange runs the cover loop over tuples [lo, hi).
+func coverRange(db *dataset.DB, idx *PatternIndex, lo, hi int, cancel *mining.Canceller) shardCover {
+	cov := newCoverer(idx)
+	out := shardCover{ords: make([]int32, hi-lo), tails: make([][]dataset.Item, hi-lo)}
+	tx := db.All()
+	for i := lo; i < hi; i++ {
+		if err := cancel.Check(); err != nil {
+			out.err = err
+			return out
+		}
+		ord := cov.cover(tx[i])
+		out.ords[i-lo] = ord
+		if ord >= 0 {
+			out.tails[i-lo] = outlying(tx[i], idx.ranked[ord].Items)
+		}
+	}
+	return out
+}
+
+// assemble replays shard cover decisions in tuple-id order into a CDB. The
+// group registry is a dense ordinal-indexed slot table; groups are created
+// in order of first coverage, matching the serial scan byte for byte.
+func assemble(db *dataset.DB, ranked []RankedPattern, shards []shardCover, bounds []int) *CDB {
+	cdb := &CDB{NumTx: db.Len(), Dict: db.Dict()}
+	slots := make([]int32, len(ranked))
+	for i := range slots {
+		slots[i] = -1
+	}
+	tx := db.All()
+	for s, shard := range shards {
+		lo := bounds[s]
+		for i, ord := range shard.ords {
+			id := lo + i
+			if ord < 0 {
+				cdb.Loose = append(cdb.Loose, tx[id])
+				cdb.LooseIDs = append(cdb.LooseIDs, id)
+				continue
+			}
+			gi := slots[ord]
+			if gi < 0 {
+				gi = int32(len(cdb.Groups))
+				slots[ord] = gi
+				cdb.Groups = append(cdb.Groups, Group{Pattern: ranked[ord].Items})
+			}
+			g := &cdb.Groups[gi]
+			g.Tails = append(g.Tails, shard.tails[i])
+			g.TupleIDs = append(g.TupleIDs, id)
+		}
+	}
+	return cdb
+}
+
+// compressIndexed is the serial indexed engine; a cancelled run returns
+// only the context error, never a partial CDB.
+func compressIndexed(db *dataset.DB, ranked []RankedPattern, cancel *mining.Canceller) (*CDB, error) {
+	idx := NewPatternIndex(ranked, db.ItemCounts())
+	shard := coverRange(db, idx, 0, db.Len(), cancel)
+	if shard.err != nil {
+		return nil, shard.err
+	}
+	return assemble(db, ranked, []shardCover{shard}, []int{0}), nil
+}
+
+// CompressParallel runs phase one of recycling sharded over worker
+// goroutines: patterns are ranked under strat, the pattern index is built
+// once, the tuple range is split into contiguous shards covered
+// independently, and the per-shard decisions are merged in tuple-id order.
+// The result is byte-identical to Compress. workers <= 0 means GOMAXPROCS;
+// ctx cancels every shard cooperatively.
+func CompressParallel(ctx context.Context, db *dataset.DB, fp []mining.Pattern, strat Strategy, workers int) (*CDB, error) {
+	return CompressRankedParallel(ctx, db, RankPatterns(fp, db.Len(), strat), workers)
+}
+
+// CompressRankedParallel is CompressParallel over an explicitly ordered
+// pattern list (the parallel analogue of CompressRanked).
+func CompressRankedParallel(ctx context.Context, db *dataset.DB, ranked []RankedPattern, workers int) (*CDB, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > db.Len() {
+		workers = db.Len()
+	}
+	if workers <= 1 {
+		cdb, err := compressIndexed(db, ranked, mining.NewCanceller(ctx, 0))
+		if err != nil {
+			return nil, err
+		}
+		return cdb, nil
+	}
+
+	idx := NewPatternIndex(ranked, db.ItemCounts())
+	bounds := make([]int, workers+1)
+	for i := 0; i <= workers; i++ {
+		bounds[i] = i * db.Len() / workers
+	}
+	shards := make([]shardCover, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// One canceller per worker: Canceller is deliberately not
+			// synchronized, so shards may not share one.
+			shards[w] = coverRange(db, idx, bounds[w], bounds[w+1], mining.NewCanceller(ctx, 0))
+		}(w)
+	}
+	wg.Wait()
+	for _, s := range shards {
+		if s.err != nil {
+			return nil, s.err
+		}
+	}
+	return assemble(db, ranked, shards, bounds[:workers]), nil
+}
+
+// ctxErr tolerates the nil contexts legacy entry points pass around.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

@@ -190,37 +190,52 @@ func (c *CDB) String() string {
 // fp would normally be the output of an earlier round of mining on the same
 // database (each Pattern's Support is its tuple count at ξ_old, the X.C of
 // the utility functions). An empty fp yields a CDB of only loose tuples.
+//
+// The cover loop runs on the indexed engine (see compress_index.go); use
+// CompressParallel to shard it across workers with identical output.
 func Compress(db *dataset.DB, fp []mining.Pattern, strat Strategy) *CDB {
 	return CompressRanked(db, RankPatterns(fp, db.Len(), strat))
 }
 
 // CompressContext is Compress with cooperative cancellation: the per-tuple
-// cover loop checks ctx periodically, so even phase one of recycling — which
-// scans every tuple against the ranked pattern list — honors deadlines on
-// large databases.
+// cover loop checks ctx periodically, so even phase one of recycling honors
+// deadlines on large databases.
 func CompressContext(ctx context.Context, db *dataset.DB, fp []mining.Pattern, strat Strategy) (*CDB, error) {
 	cancel := mining.NewCanceller(ctx, 0)
 	if err := cancel.Err(); err != nil {
 		return nil, err
 	}
-	cdb := compressRanked(db, RankPatterns(fp, db.Len(), strat), cancel)
-	if err := cancel.Err(); err != nil {
-		return nil, err
-	}
-	return cdb, nil
+	return compressIndexed(db, RankPatterns(fp, db.Len(), strat), cancel)
 }
 
 // CompressRanked compresses db with an explicitly ordered pattern list:
 // each tuple is covered by the first containing pattern. Compress is the
 // paper's utility-ranked entry point; this one exists for ablations and
-// custom cover policies.
+// custom cover policies. It runs on the indexed engine, whose output is
+// identical for any pattern order.
 func CompressRanked(db *dataset.DB, ranked []RankedPattern) *CDB {
-	return compressRanked(db, ranked, nil)
+	cdb, _ := compressIndexed(db, ranked, nil) // nil canceller: no error possible
+	return cdb
 }
 
-func compressRanked(db *dataset.DB, ranked []RankedPattern, cancel *mining.Canceller) *CDB {
+// CompressRankedScan is the unindexed reference cover loop: every tuple is
+// tested against the full ranked list in order, O(|DB|·|FP|) containment
+// probes. It is kept as the differential-testing oracle and the benchmark
+// baseline the indexed engine is measured against; production paths use
+// CompressRanked or CompressParallel.
+func CompressRankedScan(db *dataset.DB, ranked []RankedPattern) *CDB {
 	cdb := &CDB{NumTx: db.Len(), Dict: db.Dict()}
 	groups := map[string]int{} // pattern key -> index in cdb.Groups
+
+	// Group keys are precomputed up front: RankPatterns fills them at
+	// ranking time, and hand-built ranked lists (ablations, tests) get them
+	// here, exactly once — never lazily inside the cover loop.
+	keys := make([]string, len(ranked))
+	for i := range ranked {
+		if keys[i] = ranked[i].key; keys[i] == "" {
+			keys[i] = mining.Key(ranked[i].Items)
+		}
+	}
 
 	// Per-tuple membership bitmap, reused across tuples. Recycled patterns
 	// may mention items the database no longer contains (e.g. when a
@@ -240,29 +255,22 @@ func compressRanked(db *dataset.DB, ranked []RankedPattern, cancel *mining.Cance
 	}
 
 	for id, t := range db.All() {
-		if cancel.Check() != nil {
-			return cdb
-		}
 		for _, it := range t {
 			member[it] = true
 		}
 		covered := false
-		for _, rp := range ranked {
-			if !contains(t, rp.Items) {
+		for i := range ranked {
+			if !contains(t, ranked[i].Items) {
 				continue
 			}
-			key := rp.key
-			if key == "" {
-				key = mining.Key(rp.Items)
-			}
-			gi, ok := groups[key]
+			gi, ok := groups[keys[i]]
 			if !ok {
 				gi = len(cdb.Groups)
-				groups[key] = gi
-				cdb.Groups = append(cdb.Groups, Group{Pattern: rp.Items})
+				groups[keys[i]] = gi
+				cdb.Groups = append(cdb.Groups, Group{Pattern: ranked[i].Items})
 			}
 			g := &cdb.Groups[gi]
-			g.Tails = append(g.Tails, outlying(t, rp.Items))
+			g.Tails = append(g.Tails, outlying(t, ranked[i].Items))
 			g.TupleIDs = append(g.TupleIDs, id)
 			covered = true
 			break
@@ -304,7 +312,8 @@ type RankedPattern struct {
 
 // RankPatterns computes utilities (Section 3.2) and sorts patterns by
 // descending utility. Ties break by descending support, then length, then
-// item order, making compression deterministic.
+// item order, making compression deterministic. Every returned pattern has
+// its canonical key precomputed; no compression path computes keys lazily.
 func RankPatterns(fp []mining.Pattern, dbSize int, strat Strategy) []RankedPattern {
 	ranked := make([]RankedPattern, 0, len(fp))
 	for _, p := range fp {

@@ -21,6 +21,9 @@ type Recycler struct {
 	Strategy Strategy
 	// Engine mines the compressed database. Nil means the naive miner.
 	Engine CDBMiner
+	// CompressWorkers shards the compression phase; <= 0 means GOMAXPROCS.
+	// Output is byte-identical at any worker count.
+	CompressWorkers int
 }
 
 // Name implements mining.Miner, e.g. "rp-hmine-MCP".
@@ -40,7 +43,10 @@ func (r *Recycler) Mine(db *dataset.DB, minCount int, sink mining.Sink) error {
 	if minCount < 1 {
 		return mining.ErrBadMinSupport
 	}
-	cdb := Compress(db, r.FP, r.Strategy)
+	cdb, err := CompressParallel(context.Background(), db, r.FP, r.Strategy, r.CompressWorkers)
+	if err != nil {
+		return err
+	}
 	return r.engine().MineCDB(cdb, minCount, sink)
 }
 
@@ -50,7 +56,7 @@ func (r *Recycler) MineContext(ctx context.Context, db *dataset.DB, minCount int
 	if minCount < 1 {
 		return mining.ErrBadMinSupport
 	}
-	cdb, err := CompressContext(ctx, db, r.FP, r.Strategy)
+	cdb, err := CompressParallel(ctx, db, r.FP, r.Strategy, r.CompressWorkers)
 	if err != nil {
 		return err
 	}

@@ -60,6 +60,10 @@ type Histogram struct {
 // requests to multi-minute mining runs.
 var DefaultLatencyBounds = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
 
+// DefaultSecondsBounds are second buckets for phase timings (compression,
+// encoding) spanning sub-millisecond runs to multi-minute ones.
+var DefaultSecondsBounds = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+
 // DefaultRatioBounds bucket compression ratios R = S_c/S_o in (0, 1.2]:
 // values near 0 mean strong compression, above 1 mean the compressed form
 // was larger (pathological covers).

@@ -44,30 +44,61 @@ func (m Miner) Mine(db *dataset.DB, minCount int, sink mining.Sink) error {
 	tx := flist.EncodeDB(db)
 	safe := &lockedSink{sink: sink}
 
+	// Build the projection offsets once: sites[starts[r]:starts[r+1]] locates
+	// every tuple whose r-projection is non-empty, so workers share the table
+	// read-only instead of each rescanning the whole encoded database per
+	// task (which cost O(tasks·|DB|·len) duplicated probes).
+	starts, sites := projSites(tx, flist.Len())
+
 	return runWorkers(m.Workers, flist.Len(), func(r int) error {
-		// The r-projected database: suffixes after r of tuples containing r.
-		var proj [][]dataset.Item
-		for _, t := range tx {
-			for i, it := range t {
-				if it == dataset.Item(r) {
-					if i+1 < len(t) {
-						proj = append(proj, t[i+1:])
-					}
-					break
-				}
-				if it > dataset.Item(r) {
-					break
-				}
-			}
-		}
 		// Emit the item itself, then its subtree.
 		buf := [1]dataset.Item{flist.Items[r]}
 		safe.Emit(buf[:], flist.Support[r])
-		if len(proj) == 0 {
+		span := sites[starts[r]:starts[r+1]]
+		if len(span) == 0 {
 			return nil
+		}
+		// The r-projected database: suffixes after r of tuples containing r.
+		proj := make([][]dataset.Item, len(span))
+		for i, s := range span {
+			proj[i] = tx[s.tx][s.pos+1:]
 		}
 		return hmine.MineProjected(proj, flist, []dataset.Item{dataset.Item(r)}, minCount, safe)
 	})
+}
+
+// site locates one occurrence of a ranked item inside the encoded database:
+// tuple index and position within the tuple.
+type site struct {
+	tx, pos int32
+}
+
+// projSites indexes the encoded database for projection: for each ranked
+// item r, sites[starts[r]:starts[r+1]] holds the (tuple, position) pairs
+// whose suffix after r is non-empty, in tuple order. Built in one counting
+// pass plus one fill pass; the result is immutable and safe to share across
+// worker goroutines.
+func projSites(tx [][]dataset.Item, n int) (starts []int32, sites []site) {
+	starts = make([]int32, n+1)
+	for _, t := range tx {
+		for i := 0; i+1 < len(t); i++ {
+			starts[t[i]+1]++
+		}
+	}
+	for r := 0; r < n; r++ {
+		starts[r+1] += starts[r]
+	}
+	sites = make([]site, starts[n])
+	next := make([]int32, n)
+	copy(next, starts[:n])
+	for ti, t := range tx {
+		for i := 0; i+1 < len(t); i++ {
+			r := t[i]
+			sites[next[r]] = site{tx: int32(ti), pos: int32(i)}
+			next[r]++
+		}
+	}
+	return starts, sites
 }
 
 // CDBMiner mines compressed databases with parallel Recycle-HM workers.

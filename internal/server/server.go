@@ -73,6 +73,8 @@ type Server struct {
 	workers     int
 	queueCap    int
 
+	compressWorkers int
+
 	reg *metrics.Registry
 	met *serverMetrics
 
@@ -132,16 +134,28 @@ func WithQueueDepth(n int) Option {
 	}
 }
 
+// WithCompressWorkers sets the worker count of the sharded compression step
+// on the recycled mine path (default: GOMAXPROCS). Output is byte-identical
+// at any worker count. Non-positive values keep the default.
+func WithCompressWorkers(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.compressWorkers = n
+		}
+	}
+}
+
 // WithRegistry uses an external metrics registry (default: a fresh one).
 func WithRegistry(reg *metrics.Registry) Option { return func(s *Server) { s.reg = reg } }
 
 // New returns an empty server.
 func New(opts ...Option) *Server {
 	s := &Server{
-		dbs:      map[string]*entry{},
-		maxBody:  64 << 20,
-		workers:  runtime.NumCPU(),
-		queueCap: 64,
+		dbs:             map[string]*entry{},
+		maxBody:         64 << 20,
+		workers:         runtime.NumCPU(),
+		queueCap:        64,
+		compressWorkers: runtime.GOMAXPROCS(0),
 	}
 	for _, o := range opts {
 		o(s)
@@ -151,6 +165,7 @@ func New(opts ...Option) *Server {
 	}
 	s.jobs = jobs.New(s.workers, s.queueCap)
 	s.met = newServerMetrics(s.reg, s.jobs)
+	s.met.compressWorkers.Set(int64(s.compressWorkers))
 	return s
 }
 
@@ -187,9 +202,14 @@ type serverMetrics struct {
 	latency   *metrics.Histogram
 	ratio     *metrics.Histogram
 	inFlight  *metrics.Gauge
-	submitted *metrics.Counter
-	rejected  *metrics.Counter
-	killed    *metrics.Counter
+
+	// compressSecs times phase one (compression) of recycled mines;
+	// compressWorkers reports the configured shard count.
+	compressSecs    *metrics.Histogram
+	compressWorkers *metrics.Gauge
+	submitted       *metrics.Counter
+	rejected        *metrics.Counter
+	killed          *metrics.Counter
 }
 
 func newServerMetrics(reg *metrics.Registry, jm *jobs.Manager) *serverMetrics {
@@ -201,9 +221,12 @@ func newServerMetrics(reg *metrics.Registry, jm *jobs.Manager) *serverMetrics {
 		latency:   reg.Histogram("mine.latency_ms", metrics.DefaultLatencyBounds),
 		ratio:     reg.Histogram("mine.compression_ratio", metrics.DefaultRatioBounds),
 		inFlight:  reg.Gauge("mine.in_flight"),
-		submitted: reg.Counter("jobs.submitted"),
-		rejected:  reg.Counter("jobs.rejected"),
-		killed:    reg.Counter("jobs.cancelled"),
+
+		compressSecs:    reg.Histogram("compress_duration_seconds", metrics.DefaultSecondsBounds),
+		compressWorkers: reg.Gauge("compress_workers"),
+		submitted:       reg.Counter("jobs.submitted"),
+		rejected:        reg.Counter("jobs.rejected"),
+		killed:          reg.Counter("jobs.cancelled"),
 	}
 	reg.GaugeFunc("jobs.queue_depth", func() int64 { return int64(jm.Depth()) })
 	reg.GaugeFunc("jobs.running", func() int64 { return int64(jm.Running()) })
@@ -533,10 +556,12 @@ func (s *Server) mine(ctx context.Context, e *entry, req MineRequest, min int) (
 	case mining.SourceRecycled:
 		engine := rphmine.New()
 		algo = engine.Name()
-		cdb, err := core.CompressContext(ctx, p.db, p.base, core.MCP)
+		compressStart := time.Now()
+		cdb, err := core.CompressParallel(ctx, p.db, p.base, core.MCP, s.compressWorkers)
 		if err != nil {
 			return nil, s.mineFailed(err)
 		}
+		s.met.compressSecs.Observe(time.Since(compressStart).Seconds())
 		s.met.ratio.Observe(cdb.Stats().Ratio)
 		var col mining.Collector
 		if err := engine.MineCDBContext(ctx, cdb, min, &col); err != nil {

@@ -283,6 +283,14 @@ func TestMetricsEndpoint(t *testing.T) {
 	if h := snap.Histograms["mine.compression_ratio"]; h.Count != 1 {
 		t.Errorf("ratio histogram count = %d, want 1", h.Count)
 	}
+	// The recycled mine times its compression phase; exactly one run above
+	// recycled, so the histogram holds one observation.
+	if h := snap.Histograms["compress_duration_seconds"]; h.Count != 1 {
+		t.Errorf("compress duration histogram count = %d, want 1", h.Count)
+	}
+	if v, ok := snap.Gauges["compress_workers"]; !ok || v < 1 {
+		t.Errorf("compress_workers gauge = %d (present=%v), want >= 1", v, ok)
+	}
 	for _, g := range []string{"jobs.queue_depth", "jobs.running", "mine.in_flight"} {
 		if v, ok := snap.Gauges[g]; !ok || v != 0 {
 			t.Errorf("gauge %s = %d (present=%v), want 0", g, v, ok)

@@ -59,11 +59,12 @@ type Round struct {
 // Session is an interactive mining session over one database. Not safe for
 // concurrent use.
 type Session struct {
-	db       *dataset.DB
-	strategy core.Strategy
-	engine   core.CDBMiner
-	baseline mining.Miner
-	rounds   []Round
+	db              *dataset.DB
+	strategy        core.Strategy
+	engine          core.CDBMiner
+	baseline        mining.Miner
+	compressWorkers int
+	rounds          []Round
 }
 
 // Option configures a session.
@@ -78,6 +79,10 @@ func WithEngine(e core.CDBMiner) Option { return func(se *Session) { se.engine =
 
 // WithBaseline selects the from-scratch miner (default H-Mine).
 func WithBaseline(m mining.Miner) Option { return func(se *Session) { se.baseline = m } }
+
+// WithCompressWorkers shards the compression phase of recycled rounds over n
+// workers (default GOMAXPROCS; output is byte-identical at any count).
+func WithCompressWorkers(n int) Option { return func(se *Session) { se.compressWorkers = n } }
 
 // New starts a session over db.
 func New(db *dataset.DB, opts ...Option) *Session {
@@ -152,7 +157,7 @@ func (s *Session) MineRecycling(ctx context.Context, cs constraints.Set, fp []mi
 		return Result{}, ErrNoMinSupport
 	}
 	start := time.Now()
-	rec := &core.Recycler{FP: fp, Strategy: s.strategy, Engine: s.engine}
+	rec := &core.Recycler{FP: fp, Strategy: s.strategy, Engine: s.engine, CompressWorkers: s.compressWorkers}
 	var col mining.Collector
 	if err := constraints.MineContext(ctx, s.db, cs, rec, &col); err != nil {
 		return Result{}, fmt.Errorf("session: recycling: %w", err)
