@@ -5,7 +5,10 @@
 // serial scan, the indexed serial engine, and the sharded parallel engine —
 // on dense Connect-4-style workloads, reporting ns/op, allocs/op, the
 // compression ratio, and the speedup against the serial scan. The mine
-// experiment measures fresh H-Mine against recycled and parallel mining.
+// experiment measures the mining phase: fresh H-Mine, then each recycled
+// miner (rp-hmine, rp-fptree, rp-treeproj) over the precompressed database
+// serially and across a worker-count grid through the parallel wrapper,
+// reporting each parallel row's speedup against its own miner's serial row.
 //
 // Usage:
 //
@@ -51,7 +54,7 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", path)
 		for _, e := range rep.Entries {
-			fmt.Printf("  %-12s %-14s %12.0f ns/op  %8d allocs/op", e.Dataset, e.Variant, e.NsPerOp, e.AllocsPerOp)
+			fmt.Printf("  %-12s %-20s %12.0f ns/op  %8d allocs/op", e.Dataset, e.Variant, e.NsPerOp, e.AllocsPerOp)
 			if e.SpeedupVsSerial > 0 {
 				fmt.Printf("  %5.2fx", e.SpeedupVsSerial)
 			}

@@ -46,6 +46,7 @@ func main() {
 		maxBody     = flag.Int64("max-upload-mb", 64, "maximum upload size in MiB")
 		mineTimeout = flag.Duration("mine-timeout", 0, "per-request mining deadline (0 = none)")
 		workers     = flag.Int("workers", 0, "async mining workers (0 = NumCPU)")
+		mineWorkers = flag.Int("mine-workers", 0, "worker pool per mining run (0 = serial, -1 = GOMAXPROCS)")
 		queue       = flag.Int("queue", 64, "async job queue depth")
 		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
@@ -56,6 +57,7 @@ func main() {
 		server.WithMaxBodyBytes(*maxBody<<20),
 		server.WithMineTimeout(*mineTimeout),
 		server.WithWorkers(*workers),
+		server.WithMineWorkers(*mineWorkers),
 		server.WithQueueDepth(*queue),
 	)
 	mux := http.NewServeMux()

@@ -37,6 +37,7 @@ import (
 	"gogreen/internal/fptree"
 	"gogreen/internal/hmine"
 	"gogreen/internal/mining"
+	"gogreen/internal/parallel"
 	"gogreen/internal/postmine"
 	"gogreen/internal/rpfptree"
 	"gogreen/internal/rphmine"
@@ -173,6 +174,13 @@ type MineOptions struct {
 	// worker goroutines; <= 0 means GOMAXPROCS. Output is byte-identical at
 	// any worker count.
 	CompressWorkers int
+	// MineWorkers parallelizes the mining phase: 0 (the default) mines
+	// serially, n > 0 uses n worker goroutines, and n < 0 uses GOMAXPROCS.
+	// It applies to the HMine baseline and to every recycling engine except
+	// RecycleNaive (which falls back to serial mining). The emitted pattern
+	// set and supports are identical to serial mining; only the emission
+	// order differs.
+	MineWorkers int
 }
 
 // MineOption configures one call of Mine or MineRecycling.
@@ -200,6 +208,23 @@ func WithSink(s Sink) MineOption { return func(o *MineOptions) { o.Sink = s } }
 // workers (default GOMAXPROCS). Compression output — and therefore the mined
 // result — is byte-identical at any worker count.
 func WithCompressWorkers(n int) MineOption { return func(o *MineOptions) { o.CompressWorkers = n } }
+
+// WithMineWorkers parallelizes the mining phase over n worker goroutines
+// (n < 0 means GOMAXPROCS; 0, the default, mines serially). Applies to the
+// HMine baseline and to the RecycleHMine, RecycleFPGrowth and
+// RecycleTreeProj engines; other algorithms mine serially. The emitted
+// pattern set and supports are identical to serial mining at any worker
+// count; only the emission order differs.
+func WithMineWorkers(n int) MineOption { return func(o *MineOptions) { o.MineWorkers = n } }
+
+// mineWorkerCount maps the facade's MineWorkers knob (n < 0 means
+// GOMAXPROCS) onto the parallel package's convention (0 means GOMAXPROCS).
+func mineWorkerCount(n int) int {
+	if n < 0 {
+		return 0
+	}
+	return n
+}
 
 // resolve applies the options and computes the absolute threshold.
 func resolve(db *DB, opts []MineOption) (MineOptions, int, error) {
@@ -231,6 +256,9 @@ func Mine(ctx context.Context, db *DB, algo Algorithm, opts ...MineOption) (Resu
 	m, err := NewMiner(algo)
 	if err != nil {
 		return Result{}, err
+	}
+	if o.MineWorkers != 0 && algo == HMine {
+		m = parallel.Miner{Workers: mineWorkerCount(o.MineWorkers)}
 	}
 	start := time.Now()
 	var c Collector
@@ -273,6 +301,9 @@ func MineRecycling(ctx context.Context, db *DB, recycled []Pattern, opts ...Mine
 	eng, err := NewEngine(o.Engine)
 	if err != nil {
 		return Result{}, err
+	}
+	if o.MineWorkers != 0 {
+		eng = parallel.Wrap(eng, mineWorkerCount(o.MineWorkers))
 	}
 	start := time.Now()
 	rec := &core.Recycler{FP: recycled, Strategy: o.Strategy, Engine: eng, CompressWorkers: o.CompressWorkers}

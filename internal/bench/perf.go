@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"sort"
 	"testing"
 
 	"gogreen/internal/core"
@@ -18,7 +19,9 @@ import (
 	"gogreen/internal/hmine"
 	"gogreen/internal/mining"
 	"gogreen/internal/parallel"
+	"gogreen/internal/rpfptree"
 	"gogreen/internal/rphmine"
+	"gogreen/internal/rptreeproj"
 )
 
 // PerfEntry is one benchmark measurement.
@@ -194,9 +197,13 @@ func CompressPerf(cfg Config, quick bool) (PerfReport, error) {
 	return rep, nil
 }
 
-// MinePerf benchmarks the mining phase: fresh H-Mine against recycled
-// mining over the compressed database (serial and parallel engines), on the
-// Connect-4 preset at one ξ_new below its ξ_old.
+// MinePerf benchmarks the mining phase on the Connect-4 preset at one ξ_new
+// below its ξ_old: fresh H-Mine, then each recycled miner over the
+// precompressed database — serial, plus a worker-count grid through the
+// parallel wrapper. Compression is excluded (it has its own report); every
+// parallel row's SpeedupVsSerial is measured against its own miner's serial
+// row, the serial recycled rows against fresh H-Mine (the recycling
+// advantage).
 func MinePerf(cfg Config, quick bool) (PerfReport, error) {
 	rep := newReport("mine", cfg, quick)
 	scale := cfg.Scale
@@ -213,53 +220,97 @@ func MinePerf(cfg Config, quick bool) (PerfReport, error) {
 		return rep, err
 	}
 	fp := col.Patterns
+	cdb := core.Compress(db, fp, core.MCP)
 
-	variants := []struct {
-		name    string
-		workers int
-		run     func() error
-	}{
-		{"hmine", 0, func() error {
-			var c mining.Count
-			return hmine.New().Mine(db, min, &c)
-		}},
-		{"rp-hmine", 0, func() error {
-			var c mining.Count
-			rec := &core.Recycler{FP: fp, Strategy: core.MCP, Engine: rphmine.New()}
-			return rec.Mine(db, min, &c)
-		}},
-		{"par-hmine", runtime.GOMAXPROCS(0), func() error {
-			var c mining.Count
-			return parallel.Miner{}.Mine(db, min, &c)
-		}},
-	}
-	var freshNs float64
-	for _, v := range variants {
-		var err error
+	measure := func(name string, workers int, serialNs float64, run func() error) (PerfEntry, error) {
+		var runErr error
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if e := v.run(); e != nil {
-					err = e
+				if e := run(); e != nil {
+					runErr = e
 					b.FailNow()
 				}
 			}
 		})
+		if runErr != nil {
+			return PerfEntry{}, runErr
+		}
+		e := entryOf(r, "mine", "connect4", name)
+		e.Workers = workers
+		e.Patterns = len(fp)
+		if serialNs > 0 {
+			e.SpeedupVsSerial = serialNs / e.NsPerOp
+		}
+		return e, nil
+	}
+
+	// Fresh H-Mine and its parallel worker grid.
+	fresh, err := measure("hmine", 0, 0, func() error {
+		var c mining.Count
+		return hmine.New().Mine(db, min, &c)
+	})
+	if err != nil {
+		return rep, err
+	}
+	fresh.SpeedupVsSerial = 1
+	rep.Entries = append(rep.Entries, fresh)
+	for _, w := range mineWorkerCounts(quick) {
+		w := w
+		e, err := measure(fmt.Sprintf("par-hmine-%dw", w), w, fresh.NsPerOp, func() error {
+			var c mining.Count
+			return parallel.Miner{Workers: w}.Mine(db, min, &c)
+		})
 		if err != nil {
 			return rep, err
 		}
-		e := entryOf(r, "mine", "connect4", v.name)
-		e.Workers = v.workers
-		e.Patterns = len(fp)
-		if v.name == "hmine" {
-			freshNs = e.NsPerOp
-		}
-		if freshNs > 0 {
-			e.SpeedupVsSerial = freshNs / e.NsPerOp
-		}
 		rep.Entries = append(rep.Entries, e)
 	}
+
+	// The three recycled miners over the precompressed database: serial row
+	// (speedup vs fresh H-Mine), then the parallel worker grid (speedup vs
+	// that miner's serial row).
+	for _, eng := range []parallel.EncodedCDBMiner{rphmine.New(), rpfptree.New(), rptreeproj.New()} {
+		eng := eng
+		serial, err := measure(eng.Name(), 0, fresh.NsPerOp, func() error {
+			var c mining.Count
+			return eng.MineCDB(cdb, min, &c)
+		})
+		if err != nil {
+			return rep, err
+		}
+		rep.Entries = append(rep.Entries, serial)
+		for _, w := range mineWorkerCounts(quick) {
+			w := w
+			e, err := measure(fmt.Sprintf("par-%s-%dw", eng.Name(), w), w, serial.NsPerOp, func() error {
+				var c mining.Count
+				return parallel.CDBMiner{Workers: w, Engine: eng}.MineCDB(cdb, min, &c)
+			})
+			if err != nil {
+				return rep, err
+			}
+			rep.Entries = append(rep.Entries, e)
+		}
+	}
 	return rep, nil
+}
+
+// mineWorkerCounts is the mining-phase worker grid: 1 (wrapper overhead),
+// 2, and the machine's GOMAXPROCS, deduplicated; full runs add 4 so
+// single-core CI still exercises a contended pool.
+func mineWorkerCounts(quick bool) []int {
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	if !quick {
+		counts = append(counts, 4)
+	}
+	sort.Ints(counts)
+	out := counts[:0]
+	for i, w := range counts {
+		if i == 0 || w != out[len(out)-1] {
+			out = append(out, w)
+		}
+	}
+	return out
 }
 
 // parallelWorkerCounts picks the parallel shard counts to measure: the

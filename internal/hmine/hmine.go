@@ -75,6 +75,18 @@ func MineProjected(tx [][]dataset.Item, flist *mining.FList, prefix []dataset.It
 	return mineProjected(tx, flist, prefix, minCount, sink, nil)
 }
 
+// MineProjectedContext is MineProjected with cooperative cancellation: the
+// recursion aborts promptly when ctx is cancelled or times out, returning the
+// context's error. Used by the parallel miner, whose workers each mine one
+// independent subtree under the caller's context.
+func MineProjectedContext(c context.Context, tx [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error {
+	cancel := mining.NewCanceller(c, 0)
+	if err := cancel.Err(); err != nil {
+		return err
+	}
+	return mineProjected(tx, flist, prefix, minCount, sink, cancel)
+}
+
 func mineProjected(tx [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink, cancel *mining.Canceller) error {
 	if minCount < 1 {
 		return mining.ErrBadMinSupport

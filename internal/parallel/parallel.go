@@ -4,15 +4,26 @@
 // F-list items independent, so they parallelize without coordination.
 //
 // This is an extension beyond the paper (2004 hardware was single-core);
-// it exists to show the recycling scheme composes with parallelism: both
-// the plain H-Mine baseline and the compressed-database Recycle-HM engine
-// are wrapped, and the recycling advantage carries over per worker.
+// it exists to show the recycling scheme composes with parallelism: the
+// plain H-Mine baseline and all three compressed-database engines
+// (Recycle-HM, Recycle-FP, Recycle-TP) can be wrapped, and the recycling
+// advantage carries over per worker.
+//
+// When the F-list is short relative to the worker count (dense datasets
+// have few top-level items), tasks split one level deeper: the wrapper
+// emits the two-item patterns itself and hands each {r, r2} subtree to the
+// pool, so skewed top-level subtrees no longer serialize on one worker.
+//
+// Mining honors context cancellation: the pool stops handing out tasks on
+// the first task error or context cancellation, and in-flight subtrees
+// abort through their engines' cooperative cancellers.
 //
 // Pattern ordering differs run to run (workers race); the emitted set and
 // supports are deterministic.
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -22,6 +33,10 @@ import (
 	"gogreen/internal/mining"
 	"gogreen/internal/rphmine"
 )
+
+// splitFactor decides when per-item tasks are too coarse: with fewer than
+// splitFactor tasks per worker, top-level subtrees split one level deeper.
+const splitFactor = 4
 
 // Miner mines uncompressed databases with parallel H-Mine workers.
 type Miner struct {
@@ -34,6 +49,17 @@ func (Miner) Name() string { return "par-hmine" }
 
 // Mine implements mining.Miner.
 func (m Miner) Mine(db *dataset.DB, minCount int, sink mining.Sink) error {
+	return m.mine(context.Background(), db, minCount, sink)
+}
+
+// MineContext implements mining.ContextMiner: like Mine, but the pool stops
+// dispatching and in-flight workers abort promptly when ctx is cancelled or
+// times out, returning the context's error.
+func (m Miner) MineContext(ctx context.Context, db *dataset.DB, minCount int, sink mining.Sink) error {
+	return m.mine(ctx, db, minCount, sink)
+}
+
+func (m Miner) mine(ctx context.Context, db *dataset.DB, minCount int, sink mining.Sink) error {
 	if minCount < 1 {
 		return mining.ErrBadMinSupport
 	}
@@ -50,21 +76,73 @@ func (m Miner) Mine(db *dataset.DB, minCount int, sink mining.Sink) error {
 	// task (which cost O(tasks·|DB|·len) duplicated probes).
 	starts, sites := projSites(tx, flist.Len())
 
-	return runWorkers(m.Workers, flist.Len(), func(r int) error {
-		// Emit the item itself, then its subtree.
-		buf := [1]dataset.Item{flist.Items[r]}
-		safe.Emit(buf[:], flist.Support[r])
-		span := sites[starts[r]:starts[r+1]]
-		if len(span) == 0 {
-			return nil
+	n := flist.Len()
+	workers := resolveWorkers(m.Workers, n)
+	split := n < splitFactor*workers
+
+	return runPool(ctx, workers, func(p *pool) {
+		for r := 0; r < n; r++ {
+			r := r
+			p.submit(func(c context.Context) error {
+				// Emit the item itself, then its subtree.
+				buf := [1]dataset.Item{flist.Items[r]}
+				safe.Emit(buf[:], flist.Support[r])
+				span := sites[starts[r]:starts[r+1]]
+				if len(span) == 0 {
+					return nil
+				}
+				// The r-projected database: suffixes after r of tuples
+				// containing r.
+				proj := make([][]dataset.Item, len(span))
+				for i, s := range span {
+					proj[i] = tx[s.tx][s.pos+1:]
+				}
+				prefix := []dataset.Item{dataset.Item(r)}
+				if !split {
+					return hmine.MineProjectedContext(c, proj, flist, prefix, minCount, safe)
+				}
+				return splitProjected(c, p, proj, flist, prefix, minCount, safe)
+			})
 		}
-		// The r-projected database: suffixes after r of tuples containing r.
-		proj := make([][]dataset.Item, len(span))
-		for i, s := range span {
-			proj[i] = tx[s.tx][s.pos+1:]
-		}
-		return hmine.MineProjected(proj, flist, []dataset.Item{dataset.Item(r)}, minCount, safe)
 	})
+}
+
+// splitProjected splits one top-level H-Mine task a level deeper: it emits
+// every frequent two-item extension of prefix itself and submits each
+// {prefix, r2} subtree to the pool as an independent task.
+func splitProjected(c context.Context, p *pool, proj [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, safe mining.Sink) error {
+	counts := make([]int, flist.Len())
+	for _, t := range proj {
+		for _, it := range t {
+			counts[it]++
+		}
+	}
+	buf := append(append([]dataset.Item(nil), prefix...), 0)
+	decoded := make([]dataset.Item, len(buf))
+	for r2 := range counts {
+		if counts[r2] < minCount {
+			continue
+		}
+		if err := c.Err(); err != nil {
+			return err
+		}
+		buf[len(buf)-1] = dataset.Item(r2)
+		safe.Emit(flist.DecodeInto(decoded, buf), counts[r2])
+		sub := make([][]dataset.Item, 0, counts[r2])
+		for _, t := range proj {
+			if i := rankIndex(t, dataset.Item(r2)); i >= 0 && i+1 < len(t) {
+				sub = append(sub, t[i+1:])
+			}
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		subPrefix := append([]dataset.Item(nil), buf...)
+		p.submit(func(c context.Context) error {
+			return hmine.MineProjectedContext(c, sub, flist, subPrefix, minCount, safe)
+		})
+	}
+	return nil
 }
 
 // site locates one occurrence of a ranked item inside the encoded database:
@@ -101,20 +179,80 @@ func projSites(tx [][]dataset.Item, n int) (starts []int32, sites []site) {
 	return starts, sites
 }
 
-// CDBMiner mines compressed databases with parallel Recycle-HM workers.
+// rankIndex returns the index of r in the ascending rank-encoded tuple t,
+// or -1.
+func rankIndex(t []dataset.Item, r dataset.Item) int {
+	lo, hi := 0, len(t)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(t) && t[lo] == r {
+		return lo
+	}
+	return -1
+}
+
+// EncodedCDBMiner is the engine contract the parallel CDB wrapper drives:
+// a compressed-database miner that can also mine an already rank-encoded
+// projection under a prefix, with and without a context. Satisfied by the
+// Recycle-HM, Recycle-FP and Recycle-TP engines.
+type EncodedCDBMiner interface {
+	core.CDBMiner
+	MineEncoded(blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error
+	MineEncodedContext(ctx context.Context, blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error
+}
+
+// CDBMiner mines compressed databases by fanning independent top-level
+// subtrees out to worker goroutines, each mined by Engine.
 type CDBMiner struct {
 	// Workers is the goroutine count; 0 means GOMAXPROCS.
 	Workers int
+	// Engine mines the per-task projections; nil means Recycle-HM.
+	Engine EncodedCDBMiner
+}
+
+// Wrap returns a parallel wrapper around engine when it supports encoded
+// projections, or engine unchanged otherwise (e.g. rp-naive). Workers
+// follows CDBMiner semantics: 0 means GOMAXPROCS.
+func Wrap(engine core.CDBMiner, workers int) core.CDBMiner {
+	if e, ok := engine.(EncodedCDBMiner); ok {
+		return CDBMiner{Workers: workers, Engine: e}
+	}
+	return engine
+}
+
+func (m CDBMiner) engine() EncodedCDBMiner {
+	if m.Engine == nil {
+		return rphmine.New()
+	}
+	return m.Engine
 }
 
 // Name implements core.CDBMiner.
-func (CDBMiner) Name() string { return "par-rp-hmine" }
+func (m CDBMiner) Name() string { return "par-" + m.engine().Name() }
 
 // MineCDB implements core.CDBMiner.
 func (m CDBMiner) MineCDB(cdb *core.CDB, minCount int, sink mining.Sink) error {
+	return m.mineCDB(context.Background(), cdb, minCount, sink)
+}
+
+// MineCDBContext implements core.ContextCDBMiner: like MineCDB, but the
+// pool stops dispatching and in-flight workers abort promptly when ctx is
+// cancelled or times out, returning the context's error.
+func (m CDBMiner) MineCDBContext(ctx context.Context, cdb *core.CDB, minCount int, sink mining.Sink) error {
+	return m.mineCDB(ctx, cdb, minCount, sink)
+}
+
+func (m CDBMiner) mineCDB(ctx context.Context, cdb *core.CDB, minCount int, sink mining.Sink) error {
 	if minCount < 1 {
 		return mining.ErrBadMinSupport
 	}
+	eng := m.engine()
 	flist := cdb.FList(minCount)
 	if flist.Len() == 0 {
 		return nil
@@ -122,63 +260,182 @@ func (m CDBMiner) MineCDB(cdb *core.CDB, minCount int, sink mining.Sink) error {
 	blocks, loose := core.EncodeCDB(cdb, flist)
 	safe := &lockedSink{sink: sink}
 
-	return runWorkers(m.Workers, flist.Len(), func(r int) error {
-		buf := [1]dataset.Item{flist.Items[r]}
-		safe.Emit(buf[:], flist.Support[r])
-		subBlocks, subLoose := core.Project(blocks, loose, dataset.Item(r))
-		if len(subBlocks) == 0 && len(subLoose) == 0 {
-			return nil
+	n := flist.Len()
+	workers := resolveWorkers(m.Workers, n)
+	split := n < splitFactor*workers
+
+	return runPool(ctx, workers, func(p *pool) {
+		for r := 0; r < n; r++ {
+			r := r
+			p.submit(func(c context.Context) error {
+				buf := [1]dataset.Item{flist.Items[r]}
+				safe.Emit(buf[:], flist.Support[r])
+				subBlocks, subLoose := core.Project(blocks, loose, dataset.Item(r))
+				if len(subBlocks) == 0 && len(subLoose) == 0 {
+					return nil
+				}
+				prefix := []dataset.Item{dataset.Item(r)}
+				if !split {
+					return eng.MineEncodedContext(c, subBlocks, subLoose, flist, prefix, minCount, safe)
+				}
+				return splitEncoded(c, p, eng, subBlocks, subLoose, flist, prefix, minCount, safe)
+			})
 		}
-		return rphmine.Miner{}.MineEncoded(subBlocks, subLoose, flist,
-			[]dataset.Item{dataset.Item(r)}, minCount, safe)
 	})
 }
 
-// runWorkers distributes tasks 0..n-1 over a worker pool, returning the
-// first error.
-func runWorkers(workers, n int, task func(int) error) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// splitEncoded splits one top-level compressed task a level deeper,
+// mirroring splitProjected over blocks: suffix occurrences count at block
+// weight, tail and loose occurrences at one.
+func splitEncoded(c context.Context, p *pool, eng EncodedCDBMiner, blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, safe mining.Sink) error {
+	counts := make([]int, flist.Len())
+	for i := range blocks {
+		b := &blocks[i]
+		for _, it := range b.Suffix {
+			counts[it] += b.Count
+		}
+		for _, tail := range b.Tails {
+			for _, it := range tail {
+				counts[it]++
+			}
+		}
 	}
-	if workers > n {
-		workers = n
+	for _, t := range loose {
+		for _, it := range t {
+			counts[it]++
+		}
 	}
-	jobs := make(chan int)
-	errs := make(chan error, workers)
+	buf := append(append([]dataset.Item(nil), prefix...), 0)
+	decoded := make([]dataset.Item, len(buf))
+	for r2 := range counts {
+		if counts[r2] < minCount {
+			continue
+		}
+		if err := c.Err(); err != nil {
+			return err
+		}
+		buf[len(buf)-1] = dataset.Item(r2)
+		safe.Emit(flist.DecodeInto(decoded, buf), counts[r2])
+		subBlocks, subLoose := core.Project(blocks, loose, dataset.Item(r2))
+		if len(subBlocks) == 0 && len(subLoose) == 0 {
+			continue
+		}
+		subPrefix := append([]dataset.Item(nil), buf...)
+		p.submit(func(c context.Context) error {
+			return eng.MineEncodedContext(c, subBlocks, subLoose, flist, subPrefix, minCount, safe)
+		})
+	}
+	return nil
+}
+
+// resolveWorkers maps the Workers knob to an effective goroutine count:
+// non-positive means GOMAXPROCS, capped by the top-level task count.
+func resolveWorkers(w, n int) int {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// pool is a dynamic work queue shared by the mining workers. Tasks may
+// submit further tasks (the depth-2 split); the pool drains when every
+// submitted task has finished, and stops early — abandoning the queue and
+// cancelling the tasks' context so in-flight subtrees unwind — on the
+// first task error or outer-context cancellation.
+type pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []func(context.Context) error
+	pending int // queued + running tasks
+	stopped bool
+	err     error
+	inner   context.Context
+	cancel  context.CancelFunc
+}
+
+// submit enqueues a task. Safe to call from the seeding function and from
+// running tasks; after the pool stops, submissions are dropped.
+func (p *pool) submit(task func(context.Context) error) {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.queue = append(p.queue, task)
+	p.pending++
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// runPool runs the tasks seeded by seed (plus any they submit) on workers
+// goroutines, returning the first task error, or the context's error when
+// ctx was cancelled.
+func runPool(ctx context.Context, workers int, seed func(*pool)) error {
+	inner, cancel := context.WithCancel(ctx)
+	defer cancel()
+	p := &pool{inner: inner, cancel: cancel}
+	p.cond = sync.NewCond(&p.mu)
+	seed(p)
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			failed := false
-			for r := range jobs {
-				if failed {
-					continue // drain so the producer never blocks
-				}
-				if err := task(r); err != nil {
-					failed = true
-					select {
-					case errs <- err:
-					default:
-					}
-				}
-			}
+			p.work()
 		}()
 	}
-	for r := 0; r < n; r++ {
-		jobs <- r
-	}
-	close(jobs)
 	wg.Wait()
-	select {
-	case err := <-errs:
-		return err
-	default:
-		return nil
+
+	if p.err != nil {
+		return p.err
+	}
+	return ctx.Err()
+}
+
+// work is one worker's loop: pop newest-first (LIFO keeps the queue small
+// under splitting), run, account. The first failure marks the pool stopped
+// and cancels the shared inner context so running siblings abort too.
+func (p *pool) work() {
+	for {
+		p.mu.Lock()
+		for !p.stopped && len(p.queue) == 0 && p.pending > 0 {
+			p.cond.Wait()
+		}
+		if p.stopped || len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		task := p.queue[len(p.queue)-1]
+		p.queue = p.queue[:len(p.queue)-1]
+		p.mu.Unlock()
+
+		err := task(p.inner)
+
+		p.mu.Lock()
+		if err != nil && !p.stopped {
+			p.stopped = true
+			p.err = err
+			p.cancel()
+		}
+		p.pending--
+		if p.pending == 0 || p.stopped {
+			p.cond.Broadcast()
+		}
+		p.mu.Unlock()
 	}
 }
 
-// lockedSink serializes emissions from concurrent workers.
+// lockedSink serializes emissions from concurrent workers. The wrapped sink
+// keeps the mining.Sink contract obligations: the emitted slice is only
+// valid for the duration of the call, so sinks that retain patterns must
+// copy (workers reuse their prefix buffers immediately after Emit returns).
 type lockedSink struct {
 	mu   sync.Mutex
 	sink mining.Sink

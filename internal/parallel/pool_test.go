@@ -1,0 +1,101 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolStopsAfterError is the regression test for the shared done signal:
+// the old runWorkers only set a per-goroutine failed flag, so after one task
+// errored the producer still fed all n tasks and every other worker ran them
+// to completion. Now the first error marks the pool stopped and cancels the
+// task context, so at most the already-running tasks execute — the queued
+// remainder is abandoned.
+func TestPoolStopsAfterError(t *testing.T) {
+	const tasks, workers = 100, 4
+	boom := errors.New("boom")
+	var started atomic.Int64
+	err := runPool(context.Background(), workers, func(p *pool) {
+		for i := 0; i < tasks; i++ {
+			p.submit(func(c context.Context) error {
+				if started.Add(1) == 1 {
+					return boom // first executed task fails
+				}
+				// Siblings already popped park until the pool reacts; a task
+				// can only pass this point once the error cancelled c.
+				<-c.Done()
+				return nil
+			})
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("runPool = %v, want the injected error (first error wins over cancellations)", err)
+	}
+	if got := started.Load(); got > workers {
+		t.Errorf("%d tasks executed after the injected error, want <= %d (the in-flight ones)",
+			got-1, workers-1)
+	}
+}
+
+// TestPoolOuterCancel proves outer-context cancellation drains the pool with
+// the context's error even when tasks themselves return nil.
+func TestPoolOuterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	errc := make(chan error, 1)
+	go func() {
+		errc <- runPool(ctx, 2, func(p *pool) {
+			for i := 0; i < 50; i++ {
+				p.submit(func(c context.Context) error {
+					started.Add(1)
+					<-c.Done()
+					return c.Err()
+				})
+			}
+		})
+	}()
+	for started.Load() == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("runPool = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool did not drain within 5s of outer cancellation")
+	}
+	if got := started.Load(); got > 2 {
+		t.Errorf("%d tasks started, want <= worker count 2", got)
+	}
+}
+
+// TestPoolSubtaskSpawning proves tasks can submit subtasks (the depth-2
+// split path) and the pool drains only when all of them finished.
+func TestPoolSubtaskSpawning(t *testing.T) {
+	var ran atomic.Int64
+	err := runPool(context.Background(), 3, func(p *pool) {
+		for i := 0; i < 5; i++ {
+			p.submit(func(context.Context) error {
+				ran.Add(1)
+				for j := 0; j < 4; j++ {
+					p.submit(func(context.Context) error {
+						ran.Add(1)
+						return nil
+					})
+				}
+				return nil
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 5+5*4 {
+		t.Errorf("ran %d tasks, want %d", got, 5+5*4)
+	}
+}

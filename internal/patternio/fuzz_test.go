@@ -17,6 +17,11 @@ func FuzzRead(f *testing.F) {
 	f.Add("# gogreen patterns v1\n")
 	f.Add("# gogreen patterns v1\n1,1:2\n")
 	f.Add("# gogreen patterns v1\n-1:2\n")
+	f.Add("# gogreen patterns v1\n+3:2\n")
+	f.Add("# gogreen patterns v1\n1,+3:2\n")
+	f.Add("# gogreen patterns v1\n3:+2\n")
+	f.Add("# gogreen patterns v1\n-0:2\n")
+	f.Add("# gogreen patterns v1\n# minsupport +4\n9:4\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		set, err := patternio.Read(strings.NewReader(input))
 		if err != nil {

@@ -87,7 +87,7 @@ func Read(r io.Reader) (Set, error) {
 		}
 		if strings.HasPrefix(text, "#") {
 			if rest, ok := strings.CutPrefix(text, "# minsupport "); ok {
-				v, err := strconv.Atoi(strings.TrimSpace(rest))
+				v, err := parseCanonical(strings.TrimSpace(rest))
 				if err != nil || v < 1 {
 					return s, fmt.Errorf("%w: line %d: bad minsupport", ErrBadFormat, line)
 				}
@@ -99,14 +99,14 @@ func Read(r io.Reader) (Set, error) {
 		if !ok {
 			return s, fmt.Errorf("%w: line %d: missing support", ErrBadFormat, line)
 		}
-		sup, err := strconv.Atoi(supStr)
+		sup, err := parseCanonical(supStr)
 		if err != nil || sup < 1 {
 			return s, fmt.Errorf("%w: line %d: bad support %q", ErrBadFormat, line, supStr)
 		}
 		var items []dataset.Item
 		for _, tok := range strings.Split(itemsStr, ",") {
-			v, err := strconv.ParseInt(tok, 10, 32)
-			if err != nil || v < 0 {
+			v, err := parseCanonical(tok)
+			if err != nil {
 				return s, fmt.Errorf("%w: line %d: bad item %q", ErrBadFormat, line, tok)
 			}
 			items = append(items, dataset.Item(v))
@@ -121,6 +121,21 @@ func Read(r io.Reader) (Set, error) {
 		return s, err
 	}
 	return s, nil
+}
+
+// parseCanonical parses a non-negative integer in its canonical byte form:
+// digits only. Signed tokens like "+3" or "-0" are rejected even though the
+// strconv parsers accept them, because they would round-trip to a different
+// byte representation than Write produces.
+func parseCanonical(tok string) (int, error) {
+	if tok == "" || tok[0] == '+' || tok[0] == '-' {
+		return 0, fmt.Errorf("%w: signed or empty number %q", ErrBadFormat, tok)
+	}
+	v, err := strconv.ParseInt(tok, 10, 32)
+	if err != nil {
+		return 0, err
+	}
+	return int(v), nil
 }
 
 // WriteFile writes the set to path.

@@ -88,6 +88,14 @@ func TestCorruptInputs(t *testing.T) {
 		{"duplicate items", "# gogreen patterns v1\n3,3:2\n"},
 		{"bad minsupport", "# gogreen patterns v1\n# minsupport nope\n"},
 		{"huge item", "# gogreen patterns v1\n99999999999999:2\n"},
+		// Signed tokens parse under strconv but are not canonical: "+3"
+		// would round-trip to the different byte representation "3".
+		{"plus-signed item", "# gogreen patterns v1\n+3:2\n"},
+		{"plus-signed item in list", "# gogreen patterns v1\n1,+3:2\n"},
+		{"plus-signed support", "# gogreen patterns v1\n1,3:+2\n"},
+		{"minus-zero item", "# gogreen patterns v1\n-0:2\n"},
+		{"plus-signed minsupport", "# gogreen patterns v1\n# minsupport +4\n1:5\n"},
+		{"empty item token", "# gogreen patterns v1\n1,:2\n"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -25,6 +25,8 @@
 package rpfptree
 
 import (
+	"context"
+
 	"gogreen/internal/core"
 	"gogreen/internal/dataset"
 	"gogreen/internal/mining"
@@ -178,6 +180,24 @@ func (tr *tree) insert(group int32, tail []dataset.Item, count int) {
 
 // MineCDB implements core.CDBMiner.
 func (Miner) MineCDB(cdb *core.CDB, minCount int, sink mining.Sink) error {
+	return mineCDB(cdb, minCount, sink, nil)
+}
+
+// MineCDBContext implements core.ContextCDBMiner: like MineCDB, but aborts
+// promptly (checked at every conditional tree and every header item) when
+// ctx is cancelled or times out.
+func (Miner) MineCDBContext(c context.Context, cdb *core.CDB, minCount int, sink mining.Sink) error {
+	cancel := mining.NewCanceller(c, 0)
+	if err := cancel.Err(); err != nil {
+		return err
+	}
+	if err := mineCDB(cdb, minCount, sink, cancel); err != nil {
+		return err
+	}
+	return cancel.Err()
+}
+
+func mineCDB(cdb *core.CDB, minCount int, sink mining.Sink, cancel *mining.Canceller) error {
 	if minCount < 1 {
 		return mining.ErrBadMinSupport
 	}
@@ -186,6 +206,36 @@ func (Miner) MineCDB(cdb *core.CDB, minCount int, sink mining.Sink) error {
 		return nil
 	}
 	blocks, loose := core.EncodeCDB(cdb, flist)
+	return mineEncoded(blocks, loose, flist, nil, minCount, sink, cancel)
+}
+
+// MineEncoded mines an already rank-encoded (projected) compressed database
+// whose patterns all extend prefix (in rank space) with the Recycle-FP
+// engine: the projected blocks become a compressed conditional tree.
+func (Miner) MineEncoded(blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error {
+	return mineEncoded(blocks, loose, flist, prefix, minCount, sink, nil)
+}
+
+// MineEncodedContext is MineEncoded with cooperative cancellation: the
+// FP-growth recursion aborts promptly when ctx is cancelled or times out,
+// returning the context's error. Used by the parallel CDB wrapper, whose
+// workers each mine one independent projected subtree under the caller's
+// context (a Canceller is not goroutine-safe, so every subtree gets its own).
+func (Miner) MineEncodedContext(c context.Context, blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error {
+	cancel := mining.NewCanceller(c, 0)
+	if err := cancel.Err(); err != nil {
+		return err
+	}
+	if err := mineEncoded(blocks, loose, flist, prefix, minCount, sink, cancel); err != nil {
+		return err
+	}
+	return cancel.Err()
+}
+
+func mineEncoded(blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink, cancel *mining.Canceller) error {
+	if minCount < 1 {
+		return mining.ErrBadMinSupport
+	}
 	tr := newTree(flist.Len())
 	for _, b := range blocks {
 		gi := tr.addGroup(b.Suffix)
@@ -201,8 +251,8 @@ func (Miner) MineCDB(cdb *core.CDB, minCount int, sink mining.Sink) error {
 	for _, t := range loose {
 		tr.insert(-1, t, 1)
 	}
-	m := &ctx{flist: flist, min: minCount, sink: sink, decoded: make([]dataset.Item, flist.Len())}
-	m.growth(tr, nil)
+	m := &ctx{flist: flist, min: minCount, sink: sink, decoded: make([]dataset.Item, flist.Len()), cancel: cancel}
+	m.growth(tr, append([]dataset.Item(nil), prefix...))
 	return nil
 }
 
@@ -211,6 +261,7 @@ type ctx struct {
 	min     int
 	sink    mining.Sink
 	decoded []dataset.Item
+	cancel  *mining.Canceller // nil when mining without a context
 }
 
 func (m *ctx) emit(prefix []dataset.Item, support int) {
@@ -219,6 +270,10 @@ func (m *ctx) emit(prefix []dataset.Item, support int) {
 
 // growth mines one compressed (conditional) tree.
 func (m *ctx) growth(tr *tree, prefix []dataset.Item) {
+	// Cooperative cancellation, one cheap check per conditional tree.
+	if m.cancel.Check() != nil {
+		return
+	}
 	// Lemma 3.1 shortcut: the whole tree is one group-head node with no
 	// outlying subtree — enumerate combinations of the group pattern.
 	if g, count := tr.loneGroup(); g >= 0 {
@@ -238,6 +293,9 @@ func (m *ctx) growth(tr *tree, prefix []dataset.Item) {
 	for r := 0; r < tr.nItems; r++ {
 		if tr.counts[r] < m.min {
 			continue
+		}
+		if m.cancel.Check() != nil {
+			return
 		}
 		it := dataset.Item(r)
 		prefix[len(prefix)-1] = it
@@ -441,6 +499,11 @@ func (m *ctx) enumerate(items []dataset.Item, support int, prefix []dataset.Item
 	base := len(prefix)
 	buf := append([]dataset.Item(nil), prefix...)
 	for mask := uint64(1); mask < 1<<uint(n); mask++ {
+		// The enumeration can cover up to 2^62 patterns, so it must honor
+		// cancellation like the recursion proper.
+		if m.cancel.Check() != nil {
+			return
+		}
 		buf = buf[:base]
 		for i := 0; i < n; i++ {
 			if mask&(1<<uint(i)) != 0 {
@@ -464,6 +527,9 @@ func (m *ctx) enumeratePath(items []dataset.Item, counts []int, prefix []dataset
 	base := len(prefix)
 	buf := append([]dataset.Item(nil), prefix...)
 	for mask := uint64(1); mask < 1<<uint(n); mask++ {
+		if m.cancel.Check() != nil {
+			return
+		}
 		buf = buf[:base]
 		sup := 0
 		for i := 0; i < n; i++ {

@@ -121,6 +121,22 @@ func (Miner) MineEncoded(blocks []core.Block, loose [][]dataset.Item, flist *min
 	return mineEncoded(blocks, loose, flist, prefix, minCount, sink, nil)
 }
 
+// MineEncodedContext is MineEncoded with cooperative cancellation: the
+// RP-header recursion aborts promptly when ctx is cancelled or times out,
+// returning the context's error. Used by the parallel CDB wrapper, whose
+// workers each mine one independent projected subtree under the caller's
+// context (a Canceller is not goroutine-safe, so every subtree gets its own).
+func (Miner) MineEncodedContext(c context.Context, blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error {
+	cancel := mining.NewCanceller(c, 0)
+	if err := cancel.Err(); err != nil {
+		return err
+	}
+	if err := mineEncoded(blocks, loose, flist, prefix, minCount, sink, cancel); err != nil {
+		return err
+	}
+	return cancel.Err()
+}
+
 func mineEncoded(blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink, cancel *mining.Canceller) error {
 	if minCount < 1 {
 		return mining.ErrBadMinSupport

@@ -11,6 +11,8 @@
 package rptreeproj
 
 import (
+	"context"
+
 	"gogreen/internal/core"
 	"gogreen/internal/dataset"
 	"gogreen/internal/mining"
@@ -27,6 +29,23 @@ func (Miner) Name() string { return "rp-treeproj" }
 
 // MineCDB implements core.CDBMiner.
 func (Miner) MineCDB(cdb *core.CDB, minCount int, sink mining.Sink) error {
+	return mineCDB(cdb, minCount, sink, nil)
+}
+
+// MineCDBContext implements core.ContextCDBMiner: like MineCDB, but aborts
+// promptly when ctx is cancelled or times out, returning the context's error.
+func (Miner) MineCDBContext(c context.Context, cdb *core.CDB, minCount int, sink mining.Sink) error {
+	cancel := mining.NewCanceller(c, 0)
+	if err := cancel.Err(); err != nil {
+		return err
+	}
+	if err := mineCDB(cdb, minCount, sink, cancel); err != nil {
+		return err
+	}
+	return cancel.Err()
+}
+
+func mineCDB(cdb *core.CDB, minCount int, sink mining.Sink, cancel *mining.Canceller) error {
 	if minCount < 1 {
 		return mining.ErrBadMinSupport
 	}
@@ -35,14 +54,43 @@ func (Miner) MineCDB(cdb *core.CDB, minCount int, sink mining.Sink) error {
 		return nil
 	}
 	blocks, loose := core.EncodeCDB(cdb, flist)
+	return mineEncoded(blocks, loose, flist, nil, minCount, sink, cancel)
+}
+
+// MineEncoded mines an already rank-encoded compressed projection whose
+// patterns all extend prefix (in rank space). Used by the parallel miner to
+// hand each worker one independent subtree.
+func (Miner) MineEncoded(blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error {
+	return mineEncoded(blocks, loose, flist, prefix, minCount, sink, nil)
+}
+
+// MineEncodedContext is MineEncoded with cooperative cancellation. A fresh
+// Canceller is created per call because Cancellers are not goroutine-safe:
+// every parallel subtree must poll its own.
+func (Miner) MineEncodedContext(c context.Context, blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error {
+	cancel := mining.NewCanceller(c, 0)
+	if err := cancel.Err(); err != nil {
+		return err
+	}
+	if err := mineEncoded(blocks, loose, flist, prefix, minCount, sink, cancel); err != nil {
+		return err
+	}
+	return cancel.Err()
+}
+
+func mineEncoded(blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink, cancel *mining.Canceller) error {
+	if minCount < 1 {
+		return mining.ErrBadMinSupport
+	}
 	m := &ctx{
 		flist:   flist,
 		min:     minCount,
 		sink:    sink,
 		decoded: make([]dataset.Item, flist.Len()),
 		width:   flist.Len(),
+		cancel:  cancel,
 	}
-	m.node(blocks, loose, nil)
+	m.node(blocks, loose, append([]dataset.Item(nil), prefix...))
 	return nil
 }
 
@@ -52,6 +100,7 @@ type ctx struct {
 	sink    mining.Sink
 	decoded []dataset.Item
 	width   int
+	cancel  *mining.Canceller // nil when mining without a context
 }
 
 func (m *ctx) emit(prefix []dataset.Item, support int) {
@@ -61,6 +110,10 @@ func (m *ctx) emit(prefix []dataset.Item, support int) {
 // node processes one lexicographic-tree node over a compressed projected
 // set.
 func (m *ctx) node(blocks []core.Block, loose [][]dataset.Item, prefix []dataset.Item) {
+	// Cooperative cancellation, one cheap check per tree node.
+	if m.cancel.Check() != nil {
+		return
+	}
 	// One-item extension counts: block patterns once at block count.
 	counts := make([]int, m.width)
 	for i := range blocks {
@@ -155,6 +208,9 @@ func (m *ctx) node(blocks []core.Block, loose [][]dataset.Item, prefix []dataset
 
 	prefix = append(prefix, 0)
 	for i, e := range exts {
+		if m.cancel.Check() != nil {
+			return
+		}
 		prefix[len(prefix)-1] = e
 		m.emit(prefix, counts[e])
 
@@ -203,6 +259,11 @@ func (m *ctx) enumerate(items []dataset.Item, support int, prefix []dataset.Item
 	base := len(prefix)
 	buf := append([]dataset.Item(nil), prefix...)
 	for mask := uint64(1); mask < 1<<uint(n); mask++ {
+		// The enumeration can cover up to 2^62 patterns, so it must honor
+		// cancellation like the tree walk proper.
+		if m.cancel.Check() != nil {
+			return
+		}
 		buf = buf[:base]
 		for i := 0; i < n; i++ {
 			if mask&(1<<uint(i)) != 0 {

@@ -59,6 +59,7 @@ import (
 	"gogreen/internal/jobs"
 	"gogreen/internal/metrics"
 	"gogreen/internal/mining"
+	"gogreen/internal/parallel"
 	"gogreen/internal/rphmine"
 )
 
@@ -74,6 +75,7 @@ type Server struct {
 	queueCap    int
 
 	compressWorkers int
+	mineWorkers     int
 
 	reg *metrics.Registry
 	met *serverMetrics
@@ -145,6 +147,13 @@ func WithCompressWorkers(n int) Option {
 	}
 }
 
+// WithMineWorkers parallelizes the mining phase of fresh and recycled runs
+// over n worker goroutines (n < 0 means GOMAXPROCS; 0, the default, mines
+// serially). The emitted pattern set and supports are identical to serial
+// mining at any worker count; parallel runs still honor request contexts,
+// deadlines and job cancellation.
+func WithMineWorkers(n int) Option { return func(s *Server) { s.mineWorkers = n } }
+
 // WithRegistry uses an external metrics registry (default: a fresh one).
 func WithRegistry(reg *metrics.Registry) Option { return func(s *Server) { s.reg = reg } }
 
@@ -166,7 +175,29 @@ func New(opts ...Option) *Server {
 	s.jobs = jobs.New(s.workers, s.queueCap)
 	s.met = newServerMetrics(s.reg, s.jobs)
 	s.met.compressWorkers.Set(int64(s.compressWorkers))
+	s.met.mineWorkers.Set(int64(effectiveMineWorkers(s.mineWorkers)))
 	return s
+}
+
+// effectiveMineWorkers reports the goroutine count the mining phase will
+// use: serial mining is one worker, n < 0 resolves to GOMAXPROCS.
+func effectiveMineWorkers(n int) int {
+	switch {
+	case n == 0:
+		return 1
+	case n < 0:
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// poolWorkers maps the server's WithMineWorkers knob (n < 0 means
+// GOMAXPROCS) onto the parallel package's convention (0 means GOMAXPROCS).
+func poolWorkers(n int) int {
+	if n < 0 {
+		return 0
+	}
+	return n
 }
 
 // Registry returns the server's metrics registry.
@@ -207,9 +238,12 @@ type serverMetrics struct {
 	// compressWorkers reports the configured shard count.
 	compressSecs    *metrics.Histogram
 	compressWorkers *metrics.Gauge
-	submitted       *metrics.Counter
-	rejected        *metrics.Counter
-	killed          *metrics.Counter
+	// mineWorkers reports the effective mining-phase goroutine count
+	// (1 when mining serially).
+	mineWorkers *metrics.Gauge
+	submitted   *metrics.Counter
+	rejected    *metrics.Counter
+	killed      *metrics.Counter
 }
 
 func newServerMetrics(reg *metrics.Registry, jm *jobs.Manager) *serverMetrics {
@@ -224,6 +258,7 @@ func newServerMetrics(reg *metrics.Registry, jm *jobs.Manager) *serverMetrics {
 
 		compressSecs:    reg.Histogram("compress_duration_seconds", metrics.DefaultSecondsBounds),
 		compressWorkers: reg.Gauge("compress_workers"),
+		mineWorkers:     reg.Gauge("mine_workers"),
 		submitted:       reg.Counter("jobs.submitted"),
 		rejected:        reg.Counter("jobs.rejected"),
 		killed:          reg.Counter("jobs.cancelled"),
@@ -238,6 +273,8 @@ func (m *serverMetrics) observe(source mining.Source, algo string, elapsed time.
 	m.total.Inc()
 	m.reg.Counter("mine.source." + string(source)).Inc()
 	m.reg.Counter("mine.algo." + algo).Inc()
+	m.reg.Histogram("mine_duration_seconds."+algo, metrics.DefaultSecondsBounds).
+		Observe(elapsed.Seconds())
 	m.latency.Observe(float64(elapsed.Microseconds()) / 1000)
 }
 
@@ -545,7 +582,10 @@ func (s *Server) mine(ctx context.Context, e *entry, req MineRequest, min int) (
 		patterns = core.FilterTightened(p.base, min)
 
 	case mining.SourceFresh:
-		miner := hmine.New()
+		var miner mining.ContextMiner = hmine.New()
+		if s.mineWorkers != 0 {
+			miner = parallel.Miner{Workers: poolWorkers(s.mineWorkers)}
+		}
 		algo = miner.Name()
 		var col mining.Collector
 		if err := miner.MineContext(ctx, p.db, min, &col); err != nil {
@@ -554,7 +594,10 @@ func (s *Server) mine(ctx context.Context, e *entry, req MineRequest, min int) (
 		patterns = col.Patterns
 
 	case mining.SourceRecycled:
-		engine := rphmine.New()
+		var engine core.CDBMiner = rphmine.New()
+		if s.mineWorkers != 0 {
+			engine = parallel.Wrap(engine, poolWorkers(s.mineWorkers))
+		}
 		algo = engine.Name()
 		compressStart := time.Now()
 		cdb, err := core.CompressParallel(ctx, p.db, p.base, core.MCP, s.compressWorkers)
@@ -564,7 +607,7 @@ func (s *Server) mine(ctx context.Context, e *entry, req MineRequest, min int) (
 		s.met.compressSecs.Observe(time.Since(compressStart).Seconds())
 		s.met.ratio.Observe(cdb.Stats().Ratio)
 		var col mining.Collector
-		if err := engine.MineCDBContext(ctx, cdb, min, &col); err != nil {
+		if err := core.MineCDBContext(ctx, engine, cdb, min, &col); err != nil {
 			return nil, s.mineFailed(err)
 		}
 		patterns = col.Patterns

@@ -81,6 +81,56 @@ func TestMineCancelledOnDisconnect(t *testing.T) {
 	}
 }
 
+// TestParallelMineCancelledOnDisconnect proves the WithMineWorkers path is
+// reachable from the public surface and that an in-flight parallel mine
+// honors job/request cancellation: the pool stops dispatching and in-flight
+// workers abort within the same bound as the serial path.
+func TestParallelMineCancelledOnDisconnect(t *testing.T) {
+	srv := server.New(server.WithMineWorkers(2))
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	do(t, "PUT", ts.URL+"/db/slow", slowBasket(30, 60))
+
+	inFlight := srv.Registry().Gauge("mine.in_flight")
+	cancelled := srv.Registry().Counter("mine.requests.cancelled")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/db/slow/mine",
+			strings.NewReader(`{"min_count":1}`))
+		_, err := http.DefaultClient.Do(req)
+		errc <- err
+	}()
+	waitUntil(t, 5*time.Second, "mine to start", func() bool { return inFlight.Value() == 1 })
+
+	cancel()
+	took := waitUntil(t, 5*time.Second, "parallel mine to abort", func() bool {
+		return inFlight.Value() == 0 && cancelled.Value() == 1
+	})
+	if took > 100*time.Millisecond {
+		t.Errorf("parallel mine aborted %v after disconnect, want <= 100ms", took)
+	}
+	if err := <-errc; err == nil {
+		t.Error("client request unexpectedly succeeded")
+	}
+
+	// The configured worker count is visible, and a completed run lands on
+	// the parallel miner's counters — proving the wrapper, not the serial
+	// baseline, served the request.
+	if v := srv.Registry().Gauge("mine_workers").Value(); v != 2 {
+		t.Errorf("mine_workers gauge = %d, want 2", v)
+	}
+	resp, body := do(t, "POST", ts.URL+"/db/slow/mine", `{"min_count":61}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("quick parallel mine: %d %s", resp.StatusCode, body)
+	}
+	if v := srv.Registry().Counter("mine.algo.par-hmine").Value(); v != 1 {
+		t.Errorf("mine.algo.par-hmine = %d, want 1", v)
+	}
+}
+
 // TestMineDeadline proves WithMineTimeout bounds a run: the request comes
 // back 503 with code "deadline" almost immediately, not minutes later.
 func TestMineDeadline(t *testing.T) {
@@ -290,6 +340,20 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if v, ok := snap.Gauges["compress_workers"]; !ok || v < 1 {
 		t.Errorf("compress_workers gauge = %d (present=%v), want >= 1", v, ok)
+	}
+	// Serial mining is one effective worker.
+	if v, ok := snap.Gauges["mine_workers"]; !ok || v != 1 {
+		t.Errorf("mine_workers gauge = %d (present=%v), want 1", v, ok)
+	}
+	// Every finished run lands in its algorithm's duration histogram.
+	for _, name := range []string{
+		"mine_duration_seconds.hmine",
+		"mine_duration_seconds.rp-hmine",
+		"mine_duration_seconds.filter",
+	} {
+		if h := snap.Histograms[name]; h.Count != 1 {
+			t.Errorf("histogram %s count = %d, want 1", name, h.Count)
+		}
 	}
 	for _, g := range []string{"jobs.queue_depth", "jobs.running", "mine.in_flight"} {
 		if v, ok := snap.Gauges[g]; !ok || v != 0 {

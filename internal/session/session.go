@@ -23,6 +23,7 @@ import (
 	"gogreen/internal/dataset"
 	"gogreen/internal/hmine"
 	"gogreen/internal/mining"
+	"gogreen/internal/parallel"
 )
 
 // Source says how a round's result was produced. It is the shared
@@ -64,6 +65,7 @@ type Session struct {
 	engine          core.CDBMiner
 	baseline        mining.Miner
 	compressWorkers int
+	mineWorkers     int
 	rounds          []Round
 }
 
@@ -83,6 +85,12 @@ func WithBaseline(m mining.Miner) Option { return func(se *Session) { se.baselin
 // WithCompressWorkers shards the compression phase of recycled rounds over n
 // workers (default GOMAXPROCS; output is byte-identical at any count).
 func WithCompressWorkers(n int) Option { return func(se *Session) { se.compressWorkers = n } }
+
+// WithMineWorkers parallelizes the mining phase of fresh and recycled
+// rounds over n worker goroutines (n < 0 means GOMAXPROCS; 0, the default,
+// mines serially). The emitted pattern set and supports are identical to
+// serial mining; engines without a parallel wrapper stay serial.
+func WithMineWorkers(n int) Option { return func(se *Session) { se.mineWorkers = n } }
 
 // New starts a session over db.
 func New(db *dataset.DB, opts ...Option) *Session {
@@ -135,7 +143,7 @@ func (s *Session) Mine(ctx context.Context, cs constraints.Set) (Result, error) 
 
 	// Fresh path.
 	var col mining.Collector
-	if err := constraints.MineContext(ctx, s.db, cs, s.baseline, &col); err != nil {
+	if err := constraints.MineContext(ctx, s.db, cs, s.freshMiner(), &col); err != nil {
 		return Result{}, fmt.Errorf("session: fresh mining: %w", err)
 	}
 	res := Result{
@@ -157,7 +165,7 @@ func (s *Session) MineRecycling(ctx context.Context, cs constraints.Set, fp []mi
 		return Result{}, ErrNoMinSupport
 	}
 	start := time.Now()
-	rec := &core.Recycler{FP: fp, Strategy: s.strategy, Engine: s.engine, CompressWorkers: s.compressWorkers}
+	rec := &core.Recycler{FP: fp, Strategy: s.strategy, Engine: s.recycleEngine(), CompressWorkers: s.compressWorkers}
 	var col mining.Collector
 	if err := constraints.MineContext(ctx, s.db, cs, rec, &col); err != nil {
 		return Result{}, fmt.Errorf("session: recycling: %w", err)
@@ -167,6 +175,39 @@ func (s *Session) MineRecycling(ctx context.Context, cs constraints.Set, fp []mi
 			MinCount: min, Elapsed: time.Since(start)},
 		Round: -1,
 	}, nil
+}
+
+// freshMiner returns the baseline, swapped for the parallel H-Mine wrapper
+// when mine workers are configured and the baseline is the default H-Mine.
+func (s *Session) freshMiner() mining.Miner {
+	if s.mineWorkers != 0 {
+		if _, ok := s.baseline.(*hmine.Miner); ok {
+			return parallel.Miner{Workers: poolWorkers(s.mineWorkers)}
+		}
+	}
+	return s.baseline
+}
+
+// recycleEngine returns the configured engine, wrapped for parallel mining
+// when mine workers are configured and the engine supports it.
+func (s *Session) recycleEngine() core.CDBMiner {
+	eng := s.engine
+	if s.mineWorkers == 0 {
+		return eng
+	}
+	if eng == nil {
+		eng = core.Naive{}
+	}
+	return parallel.Wrap(eng, poolWorkers(s.mineWorkers))
+}
+
+// poolWorkers maps the session's WithMineWorkers knob (n < 0 means
+// GOMAXPROCS) onto the parallel package's convention (0 means GOMAXPROCS).
+func poolWorkers(n int) int {
+	if n < 0 {
+		return 0
+	}
+	return n
 }
 
 // filterSource returns the most recent history round whose constraints are
