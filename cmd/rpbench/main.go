@@ -5,10 +5,14 @@
 // serial scan, the indexed serial engine, and the sharded parallel engine —
 // on dense Connect-4-style workloads, reporting ns/op, allocs/op, the
 // compression ratio, and the speedup against the serial scan. The mine
-// experiment measures the mining phase: fresh H-Mine, then each recycled
-// miner (rp-hmine, rp-fptree, rp-treeproj) over the precompressed database
-// serially and across a worker-count grid through the parallel wrapper,
-// reporting each parallel row's speedup against its own miner's serial row.
+// experiment measures the mining phase: fresh H-Mine, then every wrappable
+// recycled miner the engine registry carries (rp-hmine, rp-fptree,
+// rp-treeproj) over the precompressed database serially and across a
+// worker-count grid through the registry's derived par-* variants, reporting
+// each parallel row's speedup against its own miner's serial row. The
+// pipeline experiment runs the full two-phase pipeline through
+// engine.Pipeline and records the per-phase timings its PhaseObserver hook
+// reports.
 //
 // Usage:
 //
@@ -43,6 +47,7 @@ func main() {
 	}{
 		{"BENCH_compress.json", bench.CompressPerf},
 		{"BENCH_mine.json", bench.MinePerf},
+		{"BENCH_pipeline.json", bench.PipelinePerf},
 	} {
 		rep, err := exp.run(cfg, *quick)
 		if err != nil {

@@ -11,8 +11,10 @@
 //
 //	rpmine -in data.basket -minsup 0.02 -recycle round1.fp -algo rp-hmine
 //
-// Algorithms: apriori, hmine, fptree, treeproj, eclat (baselines);
-// rp-naive, rp-hmine, rp-fptree, rp-treeproj (recycling; need -recycle).
+// Every algorithm comes from the engine registry — run `rpmine -list` for
+// the full catalogue: baselines (apriori, hmine, ...), recycling engines
+// (rp-naive, rp-hmine, ...; they use -recycle), and the derived parallel
+// variants (par-hmine, par-rp-hmine, ...; tune with -workers).
 package main
 
 import (
@@ -21,22 +23,16 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"text/tabwriter"
 	"time"
 
-	"gogreen/internal/apriori"
 	"gogreen/internal/core"
 	"gogreen/internal/dataset"
-	"gogreen/internal/eclat"
-	"gogreen/internal/fptree"
-	"gogreen/internal/hmine"
+	"gogreen/internal/engine"
 	"gogreen/internal/memlimit"
 	"gogreen/internal/mining"
 	"gogreen/internal/patternio"
 	"gogreen/internal/postmine"
-	"gogreen/internal/rpfptree"
-	"gogreen/internal/rphmine"
-	"gogreen/internal/rptreeproj"
-	"gogreen/internal/treeproj"
 )
 
 func main() {
@@ -49,12 +45,18 @@ func main() {
 		save     = flag.String("save", "", "save the mined patterns to this file")
 		outPath  = flag.String("out", "", "write patterns to this file (default: summary only)")
 		memMB    = flag.Int("mem", 0, "memory budget in MB (0 = unlimited); hmine/rp-* only")
+		workers  = flag.Int("workers", 0, "worker goroutines for par-* algorithms (0 = GOMAXPROCS)")
+		list     = flag.Bool("list", false, "list the registered algorithms and exit")
 		quiet    = flag.Bool("quiet", false, "suppress per-pattern output entirely")
 		closed   = flag.Bool("closed", false, "report only closed patterns")
 		maximal  = flag.Bool("maximal", false, "report only maximal patterns")
 		minConf  = flag.Float64("rules", 0, "derive association rules at this confidence (0 = off)")
 	)
 	flag.Parse()
+	if *list {
+		listAlgorithms(os.Stdout)
+		return
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "rpmine: -in is required")
 		flag.Usage()
@@ -97,7 +99,7 @@ func main() {
 	}
 
 	start := time.Now()
-	if err := mine(db, min, *algo, strat, recycled, int64(*memMB)<<20, sink); err != nil {
+	if err := mine(db, min, *algo, strat, recycled, int64(*memMB)<<20, *workers, sink); err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -163,34 +165,27 @@ func main() {
 	}
 }
 
-// mine dispatches to the selected algorithm.
-func mine(db *dataset.DB, min int, algo string, strat core.Strategy, recycled []mining.Pattern, budget int64, sink mining.Sink) error {
-	baselines := map[string]mining.Miner{
-		"apriori":  apriori.New(),
-		"hmine":    hmine.New(),
-		"fptree":   fptree.New(),
-		"treeproj": treeproj.New(),
-		"eclat":    eclat.New(),
+// mine dispatches to the selected algorithm through the engine registry.
+func mine(db *dataset.DB, min int, algo string, strat core.Strategy, recycled []mining.Pattern, budget int64, workers int, sink mining.Sink) error {
+	d, ok := engine.Lookup(algo)
+	if !ok {
+		return fmt.Errorf("rpmine: unknown algorithm %q (run rpmine -list)", algo)
 	}
-	engines := map[string]core.CDBMiner{
-		"rp-naive":    core.Naive{},
-		"rp-hmine":    rphmine.New(),
-		"rp-fptree":   rpfptree.New(),
-		"rp-treeproj": rptreeproj.New(),
-	}
-	if m, ok := baselines[algo]; ok {
+
+	if d.Kind == engine.Fresh {
 		if budget > 0 {
-			if algo != "hmine" {
+			if d.Name != "hmine" {
 				return fmt.Errorf("rpmine: -mem supports only hmine among the baselines")
 			}
 			return memlimit.MineDB(db, min, memlimit.Config{Budget: budget}, sink)
 		}
+		m, err := engine.NewMiner(algo, workers)
+		if err != nil {
+			return err
+		}
 		return m.Mine(db, min, sink)
 	}
-	eng, ok := engines[algo]
-	if !ok {
-		return fmt.Errorf("rpmine: unknown algorithm %q", algo)
-	}
+
 	if recycled == nil {
 		fmt.Fprintln(os.Stderr, "note: no -recycle file; compressing with an empty pattern set (no grouping)")
 	}
@@ -199,13 +194,33 @@ func mine(db *dataset.DB, min int, algo string, strat core.Strategy, recycled []
 	fmt.Fprintf(os.Stderr, "compressed: %d groups covering %d tuples, ratio %.3f\n",
 		s.NumGroups, s.Grouped, s.Ratio)
 	if budget > 0 {
+		// memlimit drives its own serial leaf miners; it understands the
+		// serial engine names only.
+		serial := d.Name
+		if d.Base != "" {
+			serial = d.Base
+		}
 		engName := "rp-hmine"
-		if algo == "rp-naive" {
+		if serial == "rp-naive" {
 			engName = "rp-naive"
 		}
 		return memlimit.MineCDB(cdb, min, memlimit.Config{Budget: budget, Engine: engName}, sink)
 	}
+	eng, err := engine.NewEngine(algo, workers)
+	if err != nil {
+		return err
+	}
 	return eng.MineCDB(cdb, min, sink)
+}
+
+// listAlgorithms renders the registry catalogue behind -list.
+func listAlgorithms(w *os.File) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tKIND\tSUMMARY")
+	for _, d := range engine.Descriptors() {
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", d.Name, d.Kind, d.Summary)
+	}
+	tw.Flush()
 }
 
 func fatal(err error) {

@@ -39,9 +39,9 @@ func ExampleMineRecycling() {
 // fgc, tuples 400-500 under ae.
 func ExampleCompress() {
 	db := paperDB()
-	round1, _ := gogreen.MineCount(db, gogreen.HMine, 3)
+	round1, _ := gogreen.Mine(context.Background(), db, gogreen.HMine, gogreen.WithMinCount(3))
 
-	cdb := gogreen.Compress(db, round1, gogreen.MCP)
+	cdb := gogreen.Compress(db, round1.Patterns, gogreen.MCP)
 	for _, g := range cdb.Groups {
 		fmt.Printf("group %v covers %d tuples\n", db.Dict().Names(g.Pattern), g.Count())
 	}
@@ -53,10 +53,10 @@ func ExampleCompress() {
 // Tightening the threshold needs no mining at all.
 func ExampleFilterTightened() {
 	db := paperDB()
-	round1, _ := gogreen.MineCount(db, gogreen.HMine, 2)
+	round1, _ := gogreen.Mine(context.Background(), db, gogreen.HMine, gogreen.WithMinCount(2))
 
-	tightened := gogreen.FilterTightened(round1, 4)
-	fmt.Printf("%d of %d patterns survive ξ=4\n", len(tightened), len(round1))
+	tightened := gogreen.FilterTightened(round1.Patterns, 4)
+	fmt.Printf("%d of %d patterns survive ξ=4\n", len(tightened), len(round1.Patterns))
 	// Output:
 	// 2 of 27 patterns survive ξ=4
 }
@@ -65,11 +65,11 @@ func ExampleFilterTightened() {
 // and recycling covers built from them are provably identical.
 func ExampleClosed() {
 	db := paperDB()
-	all, _ := gogreen.MineCount(db, gogreen.HMine, 2)
+	all, _ := gogreen.Mine(context.Background(), db, gogreen.HMine, gogreen.WithMinCount(2))
 
-	closed := gogreen.Closed(all)
-	maximal := gogreen.Maximal(all)
-	fmt.Printf("%d frequent, %d closed, %d maximal\n", len(all), len(closed), len(maximal))
+	closed := gogreen.Closed(all.Patterns)
+	maximal := gogreen.Maximal(all.Patterns)
+	fmt.Printf("%d frequent, %d closed, %d maximal\n", len(all.Patterns), len(closed), len(maximal))
 	// Output:
 	// 27 frequent, 8 closed, 3 maximal
 }
@@ -77,9 +77,9 @@ func ExampleClosed() {
 // Association rules derive from any complete pattern set.
 func ExampleDeriveRules() {
 	db := paperDB()
-	all, _ := gogreen.MineCount(db, gogreen.HMine, 3)
+	all, _ := gogreen.Mine(context.Background(), db, gogreen.HMine, gogreen.WithMinCount(3))
 
-	rules := gogreen.DeriveRules(all, 1.0, db.Len())
+	rules := gogreen.DeriveRules(all.Patterns, 1.0, db.Len())
 	for _, r := range rules[:3] {
 		fmt.Printf("%v => %v (conf %.0f%%)\n",
 			db.Dict().Names(r.Antecedent), db.Dict().Names(r.Consequent), r.Confidence*100)

@@ -16,7 +16,6 @@ import (
 	"gogreen/internal/constraints"
 	"gogreen/internal/gen"
 	"gogreen/internal/mining"
-	"gogreen/internal/rphmine"
 	"gogreen/internal/session"
 )
 
@@ -31,7 +30,7 @@ func main() {
 		prices[i] = float64(i%17)/2 + 0.5
 	}
 
-	s := session.New(db, session.WithEngine(rphmine.New()))
+	s := session.New(db, session.WithEngine("rp-hmine"))
 	min := func(frac float64) constraints.MinSupport {
 		return constraints.MinSupport{Count: mining.MinCount(db.Len(), frac)}
 	}

@@ -15,14 +15,13 @@ import (
 	"gogreen/internal/gen"
 	"gogreen/internal/incremental"
 	"gogreen/internal/mining"
-	"gogreen/internal/rphmine"
 )
 
 func main() {
 	db := gen.Weather(0.01)
 	fmt.Printf("day 0: %d transactions\n", db.Len())
 
-	m := incremental.New(db, incremental.WithEngine(rphmine.New()))
+	m := incremental.New(db, incremental.WithEngine("rp-hmine"))
 	min := mining.MinCount(m.Len(), 0.02)
 	res, err := m.Refresh(min)
 	if err != nil {

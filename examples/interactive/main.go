@@ -14,7 +14,6 @@ import (
 	"gogreen/internal/constraints"
 	"gogreen/internal/gen"
 	"gogreen/internal/mining"
-	"gogreen/internal/rphmine"
 	"gogreen/internal/session"
 )
 
@@ -23,7 +22,7 @@ func main() {
 	fmt.Printf("database: %d dense transactions of %d items each\n",
 		db.Len(), len(db.Tx(0)))
 
-	s := session.New(db, session.WithEngine(rphmine.New()))
+	s := session.New(db, session.WithEngine("rp-hmine"))
 
 	// The user starts conservative, then relaxes twice, then decides the
 	// middle setting was right after all.

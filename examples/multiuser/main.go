@@ -19,7 +19,6 @@ import (
 	"gogreen/internal/hmine"
 	"gogreen/internal/mining"
 	"gogreen/internal/patternio"
-	"gogreen/internal/rphmine"
 	"gogreen/internal/session"
 )
 
@@ -54,7 +53,7 @@ func main() {
 	bobXi := 0.84
 	bobCS := constraints.Set{constraints.MinSupport{Count: mining.MinCount(db.Len(), bobXi)}}
 
-	bob := session.New(db, session.WithEngine(rphmine.New()))
+	bob := session.New(db, session.WithEngine("rp-hmine"))
 	t0 = time.Now()
 	fresh, err := bob.Mine(context.Background(), bobCS) // no history: mines from scratch
 	if err != nil {

@@ -26,23 +26,12 @@ package gogreen
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"time"
 
-	"gogreen/internal/apriori"
 	"gogreen/internal/core"
 	"gogreen/internal/dataset"
-	"gogreen/internal/eclat"
-	"gogreen/internal/fptree"
-	"gogreen/internal/hmine"
+	"gogreen/internal/engine"
 	"gogreen/internal/mining"
-	"gogreen/internal/parallel"
 	"gogreen/internal/postmine"
-	"gogreen/internal/rpfptree"
-	"gogreen/internal/rphmine"
-	"gogreen/internal/rptreeproj"
-	"gogreen/internal/treeproj"
 )
 
 // Core data types.
@@ -82,7 +71,9 @@ const (
 	MLP = core.MLP
 )
 
-// Algorithm names a mining algorithm for Mine and MineRecycling.
+// Algorithm names a mining algorithm for Mine and MineRecycling. Any
+// canonical name from the engine registry is valid, including the par-*
+// parallel variants; the constants below cover the serial algorithms.
 type Algorithm string
 
 // Baseline (non-recycling) algorithms.
@@ -105,40 +96,24 @@ const (
 // NewMiner returns the named baseline miner, or an error for unknown or
 // recycling-only names.
 func NewMiner(a Algorithm) (Miner, error) {
-	switch a {
-	case Apriori:
-		return apriori.New(), nil
-	case HMine:
-		return hmine.New(), nil
-	case FPGrowth:
-		return fptree.New(), nil
-	case TreeProj:
-		return treeproj.New(), nil
-	case Eclat:
-		return eclat.New(), nil
-	}
-	return nil, fmt.Errorf("gogreen: unknown baseline algorithm %q", a)
+	return engine.NewMiner(string(a), 0)
 }
 
 // NewEngine returns the named compressed-database miner.
 func NewEngine(a Algorithm) (CDBMiner, error) {
-	switch a {
-	case RecycleNaive:
-		return core.Naive{}, nil
-	case RecycleHMine:
-		return rphmine.New(), nil
-	case RecycleFPGrowth:
-		return rpfptree.New(), nil
-	case RecycleTreeProj:
-		return rptreeproj.New(), nil
-	}
-	return nil, fmt.Errorf("gogreen: unknown recycling engine %q", a)
+	return engine.NewEngine(string(a), 0)
 }
 
-// Algorithms lists every algorithm name, baselines first.
+// Algorithms lists every canonical algorithm name from the engine
+// registry: baselines, then recycling engines, then the derived par-*
+// parallel variants.
 func Algorithms() []Algorithm {
-	return []Algorithm{Apriori, HMine, FPGrowth, TreeProj, Eclat,
-		RecycleNaive, RecycleHMine, RecycleFPGrowth, RecycleTreeProj}
+	names := engine.Names()
+	out := make([]Algorithm, len(names))
+	for i, n := range names {
+		out[i] = Algorithm(n)
+	}
+	return out
 }
 
 // MinCount converts a relative minimum support (fraction of |DB|) into an
@@ -147,12 +122,12 @@ func MinCount(numTx int, frac float64) int { return mining.MinCount(numTx, frac)
 
 // ErrNoThreshold is returned by Mine and MineRecycling when neither
 // WithMinCount nor WithMinSupport was given.
-var ErrNoThreshold = errors.New("gogreen: no support threshold (use WithMinCount or WithMinSupport)")
+var ErrNoThreshold = engine.ErrNoThreshold
 
 // ErrBadMinSupport is returned by Mine and MineRecycling when WithMinSupport
 // was given a value outside (0, 1); a relative threshold of 1 or more would
 // exceed |DB| and silently yield no patterns.
-var ErrBadMinSupport = errors.New("gogreen: min support must be a fraction in (0, 1)")
+var ErrBadMinSupport = engine.ErrBadMinSupport
 
 // MineOptions collects the tunables of Mine and MineRecycling. Construct it
 // through the With... functional options.
@@ -217,32 +192,28 @@ func WithCompressWorkers(n int) MineOption { return func(o *MineOptions) { o.Com
 // count; only the emission order differs.
 func WithMineWorkers(n int) MineOption { return func(o *MineOptions) { o.MineWorkers = n } }
 
-// mineWorkerCount maps the facade's MineWorkers knob (n < 0 means
-// GOMAXPROCS) onto the parallel package's convention (0 means GOMAXPROCS).
-func mineWorkerCount(n int) int {
-	if n < 0 {
-		return 0
-	}
-	return n
-}
-
 // resolve applies the options and computes the absolute threshold.
 func resolve(db *DB, opts []MineOption) (MineOptions, int, error) {
 	o := MineOptions{Strategy: MCP, Engine: RecycleHMine}
 	for _, opt := range opts {
 		opt(&o)
 	}
-	min := o.MinCount
-	if min < 1 && o.MinSupport > 0 {
-		if o.MinSupport >= 1 {
-			return o, 0, ErrBadMinSupport
-		}
-		min = MinCount(db.Len(), o.MinSupport)
-	}
-	if min < 1 {
-		return o, 0, ErrNoThreshold
+	min, err := engine.Threshold{Count: o.MinCount, Support: o.MinSupport}.Resolve(db.Len())
+	if err != nil {
+		return o, 0, err
 	}
 	return o, min, nil
+}
+
+// pipeline assembles the engine pipeline one facade call runs through.
+func (o MineOptions) pipeline(algo Algorithm) engine.Pipeline {
+	return engine.Pipeline{
+		Fresh:           string(algo),
+		Recycled:        string(o.Engine),
+		Strategy:        o.Strategy,
+		CompressWorkers: o.CompressWorkers,
+		MineWorkers:     o.MineWorkers,
+	}
 }
 
 // Mine runs a baseline algorithm under ctx and returns the round's Result.
@@ -253,27 +224,12 @@ func Mine(ctx context.Context, db *DB, algo Algorithm, opts ...MineOption) (Resu
 	if err != nil {
 		return Result{}, err
 	}
-	m, err := NewMiner(algo)
+	p := o.pipeline(algo)
+	run, err := p.Mine(ctx, db, min, o.Sink)
 	if err != nil {
 		return Result{}, err
 	}
-	if o.MineWorkers != 0 && algo == HMine {
-		m = parallel.Miner{Workers: mineWorkerCount(o.MineWorkers)}
-	}
-	start := time.Now()
-	var c Collector
-	sink, collected := o.Sink, false
-	if sink == nil {
-		sink, collected = &c, true
-	}
-	if err := mining.MineContext(ctx, m, db, min, sink); err != nil {
-		return Result{}, err
-	}
-	res := Result{Source: mining.SourceFresh, MinCount: min, Elapsed: time.Since(start)}
-	if collected {
-		res.Patterns = c.Patterns
-	}
-	return res, nil
+	return run.Result, nil
 }
 
 // Compress runs phase one of recycling: cover db's tuples with the
@@ -298,28 +254,12 @@ func MineRecycling(ctx context.Context, db *DB, recycled []Pattern, opts ...Mine
 	if err != nil {
 		return Result{}, err
 	}
-	eng, err := NewEngine(o.Engine)
+	p := o.pipeline("")
+	run, err := p.MineRecycling(ctx, db, recycled, min, o.Sink)
 	if err != nil {
 		return Result{}, err
 	}
-	if o.MineWorkers != 0 {
-		eng = parallel.Wrap(eng, mineWorkerCount(o.MineWorkers))
-	}
-	start := time.Now()
-	rec := &core.Recycler{FP: recycled, Strategy: o.Strategy, Engine: eng, CompressWorkers: o.CompressWorkers}
-	var c Collector
-	sink, collected := o.Sink, false
-	if sink == nil {
-		sink, collected = &c, true
-	}
-	if err := rec.MineContext(ctx, db, min, sink); err != nil {
-		return Result{}, err
-	}
-	res := Result{Source: mining.SourceRecycled, MinCount: min, Elapsed: time.Since(start)}
-	if collected {
-		res.Patterns = c.Patterns
-	}
-	return res, nil
+	return run.Result, nil
 }
 
 // MineCount runs a baseline algorithm at an absolute threshold and returns

@@ -3,60 +3,65 @@ package gogreen
 import (
 	"context"
 	"errors"
+	"os"
 	"path/filepath"
+	"regexp"
 	"testing"
 
+	"gogreen/internal/engine"
 	"gogreen/internal/testutil"
 )
 
 func TestFacadeRoundTrip(t *testing.T) {
 	db := testutil.PaperDB()
+	ctx := context.Background()
 
-	round1, err := MineCount(db, HMine, 3)
+	round1, err := Mine(ctx, db, HMine, WithMinCount(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(round1) != 11 { // complete set incl. the paper's omitted fc:3
-		t.Fatalf("round 1: %d patterns, want 11", len(round1))
+	if len(round1.Patterns) != 11 { // complete set incl. the paper's omitted fc:3
+		t.Fatalf("round 1: %d patterns, want 11", len(round1.Patterns))
 	}
 
 	for _, engine := range []Algorithm{RecycleNaive, RecycleHMine, RecycleFPGrowth, RecycleTreeProj} {
-		round2, err := MineRecyclingCount(db, round1, MCP, engine, 2)
+		round2, err := MineRecycling(ctx, db, round1.Patterns, WithMinCount(2), WithEngine(engine))
 		if err != nil {
 			t.Fatalf("%s: %v", engine, err)
 		}
-		direct, err := MineCount(db, Apriori, 2)
+		direct, err := Mine(ctx, db, Apriori, WithMinCount(2))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(round2) != len(direct) {
-			t.Fatalf("%s: recycled %d patterns, direct %d", engine, len(round2), len(direct))
+		if len(round2.Patterns) != len(direct.Patterns) {
+			t.Fatalf("%s: recycled %d patterns, direct %d", engine, len(round2.Patterns), len(direct.Patterns))
 		}
 	}
 
-	filtered := FilterTightened(round1, 4)
-	direct4, _ := MineCount(db, HMine, 4)
-	if len(filtered) != len(direct4) {
-		t.Fatalf("filter: %d vs %d", len(filtered), len(direct4))
+	filtered := FilterTightened(round1.Patterns, 4)
+	direct4, _ := Mine(ctx, db, HMine, WithMinCount(4))
+	if len(filtered) != len(direct4.Patterns) {
+		t.Fatalf("filter: %d vs %d", len(filtered), len(direct4.Patterns))
 	}
 }
 
 func TestFacadeAllAlgorithms(t *testing.T) {
 	db := testutil.PaperDB()
-	want, _ := MineCount(db, Apriori, 2)
+	ctx := context.Background()
+	want, _ := Mine(ctx, db, Apriori, WithMinCount(2))
 	for _, a := range Algorithms() {
-		var got []Pattern
+		var got Result
 		var err error
 		if _, e := NewMiner(a); e == nil {
-			got, err = MineCount(db, a, 2)
+			got, err = Mine(ctx, db, a, WithMinCount(2))
 		} else {
-			got, err = MineRecyclingCount(db, nil, MCP, a, 2)
+			got, err = MineRecycling(ctx, db, nil, WithMinCount(2), WithEngine(a))
 		}
 		if err != nil {
 			t.Fatalf("%s: %v", a, err)
 		}
-		if len(got) != len(want) {
-			t.Errorf("%s: %d patterns, want %d", a, len(got), len(want))
+		if len(got.Patterns) != len(want.Patterns) {
+			t.Errorf("%s: %d patterns, want %d", a, len(got.Patterns), len(want.Patterns))
 		}
 	}
 }
@@ -75,10 +80,11 @@ func TestFacadeErrors(t *testing.T) {
 		t.Error("NewEngine should reject baseline names")
 	}
 	db := testutil.PaperDB()
-	if _, err := MineCount(db, "bogus", 2); err == nil {
+	ctx := context.Background()
+	if _, err := Mine(ctx, db, "bogus", WithMinCount(2)); err == nil {
 		t.Error("Mine should propagate algorithm errors")
 	}
-	if _, err := MineRecyclingCount(db, nil, MCP, "bogus", 2); err == nil {
+	if _, err := MineRecycling(ctx, db, nil, WithMinCount(2), WithEngine("bogus")); err == nil {
 		t.Error("MineRecycling should propagate engine errors")
 	}
 }
@@ -163,6 +169,38 @@ func TestFacadeOptions(t *testing.T) {
 	// An explicit MinCount still wins over an out-of-range fraction.
 	if _, err := Mine(ctx, db, HMine, WithMinCount(3), WithMinSupport(1.5)); err != nil {
 		t.Errorf("min count with stray fraction: %v", err)
+	}
+}
+
+// TestReadmeAlgorithmTable keeps the README's algorithm table in lockstep
+// with the engine registry: every registered name appears exactly once with
+// its kind, and the table carries no stale rows.
+func TestReadmeAlgorithmTable(t *testing.T) {
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile("(?m)^\\| `([a-z0-9-]+)` \\| (fresh|recycled) \\|")
+	rows := map[string]string{}
+	for _, m := range re.FindAllStringSubmatch(string(data), -1) {
+		if _, dup := rows[m[1]]; dup {
+			t.Errorf("README lists %q twice", m[1])
+		}
+		rows[m[1]] = m[2]
+	}
+	for _, d := range engine.Descriptors() {
+		kind, ok := rows[d.Name]
+		if !ok {
+			t.Errorf("registry name %q missing from the README table", d.Name)
+			continue
+		}
+		if kind != d.Kind.String() {
+			t.Errorf("README lists %q as %s, registry says %s", d.Name, kind, d.Kind)
+		}
+		delete(rows, d.Name)
+	}
+	for name := range rows {
+		t.Errorf("README lists %q, which the registry does not register", name)
 	}
 }
 

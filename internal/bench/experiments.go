@@ -9,17 +9,13 @@ import (
 
 	"gogreen/internal/core"
 	"gogreen/internal/dataset"
-	"gogreen/internal/fptree"
-	"gogreen/internal/hmine"
+	"gogreen/internal/engine"
 	"gogreen/internal/memlimit"
 	"gogreen/internal/mining"
-	"gogreen/internal/rpfptree"
-	"gogreen/internal/rphmine"
-	"gogreen/internal/rptreeproj"
-	"gogreen/internal/treeproj"
 )
 
-// family pairs a non-recycling baseline with its recycling adaptation.
+// family pairs a non-recycling baseline with its recycling adaptation, both
+// resolved from the engine registry by canonical name.
 type family struct {
 	label    string
 	baseline mining.Miner
@@ -28,9 +24,9 @@ type family struct {
 
 func families() []family {
 	return []family{
-		{"HM", hmine.New(), rphmine.New()},
-		{"FP", fptree.New(), rpfptree.New()},
-		{"TP", treeproj.New(), rptreeproj.New()},
+		{"HM", registryMiner("hmine"), registryEngine("rp-hmine")},
+		{"FP", registryMiner("fptree"), registryEngine("rp-fptree")},
+		{"TP", registryMiner("treeproj"), registryEngine("rp-treeproj")},
 	}
 }
 
@@ -235,12 +231,39 @@ func runMemFigure(cfg Config, w io.Writer, spec *DatasetSpec) error {
 
 func flatten(db *dataset.DB) [][]dataset.Item { return db.All() }
 
+// registryMiner and registryEngine resolve canonical names through the
+// engine registry; an unknown name is a bench bug, not an input error.
+func registryMiner(name string) mining.Miner {
+	m, err := engine.NewMiner(name, 0)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func registryEngine(name string) core.CDBMiner {
+	e, err := engine.NewEngine(name, 0)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
 // hmineMiner, rphmineMiner and engines centralize miner construction for
 // the ablation experiments.
-func hmineMiner() mining.Miner    { return hmine.New() }
-func rphmineMiner() core.CDBMiner { return rphmine.New() }
+func hmineMiner() mining.Miner    { return registryMiner("hmine") }
+func rphmineMiner() core.CDBMiner { return registryEngine("rp-hmine") }
+
+// engines returns every serial recycled engine the registry carries, so a
+// newly registered engine joins the ablation grid automatically.
 func engines() []core.CDBMiner {
-	return []core.CDBMiner{core.Naive{}, rphmine.New(), rpfptree.New(), rptreeproj.New()}
+	var out []core.CDBMiner
+	for _, d := range engine.Descriptors() {
+		if d.Kind == engine.Recycled && d.Base == "" {
+			out = append(out, d.Engine(0))
+		}
+	}
+	return out
 }
 
 // humanBytes renders a budget compactly.

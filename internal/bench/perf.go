@@ -12,16 +12,13 @@ import (
 	"runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"gogreen/internal/core"
 	"gogreen/internal/dataset"
+	"gogreen/internal/engine"
 	"gogreen/internal/gen"
-	"gogreen/internal/hmine"
 	"gogreen/internal/mining"
-	"gogreen/internal/parallel"
-	"gogreen/internal/rpfptree"
-	"gogreen/internal/rphmine"
-	"gogreen/internal/rptreeproj"
 )
 
 // PerfEntry is one benchmark measurement.
@@ -123,7 +120,7 @@ func compressWorkloads(cfg Config, quick bool) ([]compressWorkload, error) {
 		{"connect4", gen.Connect4(presetScale), 0.95},
 	} {
 		var col mining.Collector
-		if err := hmine.New().Mine(w.db, MinCountAt(w.db.Len(), w.xiOld), &col); err != nil {
+		if err := registryMiner("hmine").Mine(w.db, MinCountAt(w.db.Len(), w.xiOld), &col); err != nil {
 			return nil, err
 		}
 		out = append(out, compressWorkload{
@@ -216,7 +213,7 @@ func MinePerf(cfg Config, quick bool) (PerfReport, error) {
 	min := MinCountAt(db.Len(), xiNew)
 
 	var col mining.Collector
-	if err := hmine.New().Mine(db, MinCountAt(db.Len(), spec.XiOld), &col); err != nil {
+	if err := registryMiner("hmine").Mine(db, MinCountAt(db.Len(), spec.XiOld), &col); err != nil {
 		return rep, err
 	}
 	fp := col.Patterns
@@ -248,7 +245,7 @@ func MinePerf(cfg Config, quick bool) (PerfReport, error) {
 	// Fresh H-Mine and its parallel worker grid.
 	fresh, err := measure("hmine", 0, 0, func() error {
 		var c mining.Count
-		return hmine.New().Mine(db, min, &c)
+		return registryMiner("hmine").Mine(db, min, &c)
 	})
 	if err != nil {
 		return rep, err
@@ -256,10 +253,13 @@ func MinePerf(cfg Config, quick bool) (PerfReport, error) {
 	fresh.SpeedupVsSerial = 1
 	rep.Entries = append(rep.Entries, fresh)
 	for _, w := range mineWorkerCounts(quick) {
-		w := w
+		par, err := engine.NewMiner("par-hmine", w)
+		if err != nil {
+			return rep, err
+		}
 		e, err := measure(fmt.Sprintf("par-hmine-%dw", w), w, fresh.NsPerOp, func() error {
 			var c mining.Count
-			return parallel.Miner{Workers: w}.Mine(db, min, &c)
+			return par.Mine(db, min, &c)
 		})
 		if err != nil {
 			return rep, err
@@ -267,12 +267,17 @@ func MinePerf(cfg Config, quick bool) (PerfReport, error) {
 		rep.Entries = append(rep.Entries, e)
 	}
 
-	// The three recycled miners over the precompressed database: serial row
-	// (speedup vs fresh H-Mine), then the parallel worker grid (speedup vs
-	// that miner's serial row).
-	for _, eng := range []parallel.EncodedCDBMiner{rphmine.New(), rpfptree.New(), rptreeproj.New()} {
-		eng := eng
-		serial, err := measure(eng.Name(), 0, fresh.NsPerOp, func() error {
+	// Every wrappable recycled miner the registry carries, over the
+	// precompressed database: serial row (speedup vs fresh H-Mine), then the
+	// parallel worker grid through the registry's derived par-* variant
+	// (speedup vs that miner's serial row). A newly registered encoded engine
+	// joins the grid automatically.
+	for _, d := range engine.Descriptors() {
+		if d.Kind != engine.Recycled || d.Base != "" || !d.Encoded {
+			continue
+		}
+		eng := d.Engine(0)
+		serial, err := measure(d.Name, 0, fresh.NsPerOp, func() error {
 			var c mining.Count
 			return eng.MineCDB(cdb, min, &c)
 		})
@@ -281,15 +286,91 @@ func MinePerf(cfg Config, quick bool) (PerfReport, error) {
 		}
 		rep.Entries = append(rep.Entries, serial)
 		for _, w := range mineWorkerCounts(quick) {
-			w := w
-			e, err := measure(fmt.Sprintf("par-%s-%dw", eng.Name(), w), w, serial.NsPerOp, func() error {
+			par, err := engine.NewEngine(d.Par, w)
+			if err != nil {
+				return rep, err
+			}
+			e, err := measure(fmt.Sprintf("%s-%dw", d.Par, w), w, serial.NsPerOp, func() error {
 				var c mining.Count
-				return parallel.CDBMiner{Workers: w, Engine: eng}.MineCDB(cdb, min, &c)
+				return par.MineCDB(cdb, min, &c)
 			})
 			if err != nil {
 				return rep, err
 			}
 			rep.Entries = append(rep.Entries, e)
+		}
+	}
+	return rep, nil
+}
+
+// PipelinePerf measures the full recycling pipeline — compression plus
+// mining — through engine.Pipeline on the Connect-4 preset, one run per
+// wrappable recycled engine, serial and with a parallel mining phase. The
+// per-phase rows come straight from the pipeline's PhaseObserver hook (the
+// same hook the server binds to its metrics histograms), so the report
+// records exactly what the pipeline observed; each parallel total row
+// reports its speedup against the same engine's serial total.
+func PipelinePerf(cfg Config, quick bool) (PerfReport, error) {
+	rep := newReport("pipeline", cfg, quick)
+	scale := cfg.Scale
+	if quick {
+		scale = minScale(scale, 0.005)
+	}
+	spec := SpecByName("connect4")
+	db := gen.Connect4(scale)
+	xiNew := spec.Sweep[0]
+	min := MinCountAt(db.Len(), xiNew)
+
+	seeder := engine.Pipeline{}
+	seed, err := seeder.Mine(context.Background(), db, MinCountAt(db.Len(), spec.XiOld), nil)
+	if err != nil {
+		return rep, err
+	}
+	fp := seed.Patterns
+
+	for _, d := range engine.Descriptors() {
+		if d.Kind != engine.Recycled || d.Base != "" || !d.Encoded {
+			continue
+		}
+		var serialNs float64
+		for _, workers := range []int{0, -1} { // serial, then GOMAXPROCS
+			var phases []PerfEntry
+			obs := engine.ObserverFunc(func(ph engine.Phase, algo string, dur time.Duration) {
+				e := PerfEntry{
+					Experiment: "pipeline",
+					Dataset:    spec.Name,
+					Variant:    fmt.Sprintf("%s/%s", algo, ph),
+					NsPerOp:    float64(dur.Nanoseconds()),
+					Patterns:   len(fp),
+				}
+				if workers != 0 {
+					e.Workers = runtime.GOMAXPROCS(0)
+				}
+				phases = append(phases, e)
+			})
+			p := engine.Pipeline{Recycled: d.Name, MineWorkers: workers, Observer: obs}
+			var c mining.Count
+			run, err := p.MineRecycling(context.Background(), db, fp, min, &c)
+			if err != nil {
+				return rep, err
+			}
+			total := PerfEntry{
+				Experiment:       "pipeline",
+				Dataset:          spec.Name,
+				Variant:          run.Algo + "/total",
+				NsPerOp:          float64(run.Elapsed.Nanoseconds()),
+				Patterns:         len(fp),
+				CompressionRatio: run.CompressStats.Ratio,
+			}
+			if workers != 0 {
+				total.Workers = runtime.GOMAXPROCS(0)
+			}
+			if serialNs == 0 {
+				serialNs = total.NsPerOp
+			}
+			total.SpeedupVsSerial = serialNs / total.NsPerOp
+			rep.Entries = append(rep.Entries, phases...)
+			rep.Entries = append(rep.Entries, total)
 		}
 	}
 	return rep, nil

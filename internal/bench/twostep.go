@@ -36,7 +36,7 @@ func runTwoStep(cfg Config, w io.Writer) error {
 				}
 				patterns = c.N
 			})
-			opts := twostep.Options{Engine: rphmineMiner()}
+			opts := twostep.Options{Engine: "rp-hmine"}
 			split := Timed(func() {
 				var c mining.Count
 				if err := twostep.Mine(db, min, opts, &c); err != nil {

@@ -8,6 +8,7 @@ import (
 	"gogreen/internal/constraints"
 	"gogreen/internal/core"
 	"gogreen/internal/dataset"
+	"gogreen/internal/engine"
 	"gogreen/internal/mining"
 	"gogreen/internal/testutil"
 )
@@ -157,7 +158,7 @@ func TestConstrainedMine(t *testing.T) {
 		}
 		miners := []mining.Miner{
 			apriori.New(),
-			&core.Recycler{FP: fp, Strategy: core.MCP},
+			engine.NewRecycler(fp, core.MCP, nil),
 		}
 		for _, cs := range sets {
 			want := mining.PatternSet{}

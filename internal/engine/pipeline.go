@@ -1,0 +1,356 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"gogreen/internal/core"
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+)
+
+// ErrNoThreshold is returned when a run is requested with neither an
+// absolute count nor a relative support threshold.
+var ErrNoThreshold = errors.New("gogreen: no support threshold (use WithMinCount or WithMinSupport)")
+
+// ErrBadMinSupport is returned for a relative threshold outside (0, 1); a
+// fraction of 1 or more would exceed |DB| and silently yield no patterns.
+var ErrBadMinSupport = errors.New("gogreen: min support must be a fraction in (0, 1)")
+
+// Threshold is a support threshold in either absolute (Count) or relative
+// (Support, fraction of |DB|) form. Count wins when both are set.
+type Threshold struct {
+	Count   int
+	Support float64
+}
+
+// Resolve converts the threshold into an absolute tuple count for a
+// database of numTx tuples, returning ErrNoThreshold / ErrBadMinSupport
+// when neither form is usable.
+func (t Threshold) Resolve(numTx int) (int, error) {
+	min := t.Count
+	if min < 1 && t.Support > 0 {
+		if t.Support >= 1 {
+			return 0, ErrBadMinSupport
+		}
+		min = mining.MinCount(numTx, t.Support)
+	}
+	if min < 1 {
+		return 0, ErrNoThreshold
+	}
+	return min, nil
+}
+
+// PoolWorkers maps the public mine-workers knob (n < 0 = GOMAXPROCS,
+// n > 0 = exactly n; 0 = serial, which callers decide before construction)
+// onto the parallel package's pool convention (0 = GOMAXPROCS). It is the
+// single mapping between the two conventions — surfaces must not reimplement
+// it.
+func PoolWorkers(n int) int {
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// FilterAlgo is the canonical algorithm label of the tighten-filter path,
+// which reuses an old result without running any miner.
+const FilterAlgo = "filter"
+
+// Phase labels the stages of a pipeline run.
+type Phase string
+
+// Pipeline phases.
+const (
+	// PhaseCompress is phase one of recycling: covering the database with
+	// the recycled patterns.
+	PhaseCompress Phase = "compress"
+	// PhaseMine is a mining pass (fresh, or over the compressed database).
+	PhaseMine Phase = "mine"
+	// PhaseFilter is the tighten direction: filtering an old result.
+	PhaseFilter Phase = "filter"
+)
+
+// PhaseObserver watches pipeline phases. The server binds it to its metrics
+// histograms, rpbench to its measurement records, and tests to assertions.
+// OnPhaseEnd fires only for phases that complete without error; algo is the
+// canonical registry name of the algorithm driving the run (FilterAlgo for
+// the filter path). Implementations must be safe for concurrent use when
+// the pipeline is shared across goroutines.
+type PhaseObserver interface {
+	OnPhaseStart(phase Phase, algo string)
+	OnPhaseEnd(phase Phase, algo string, elapsed time.Duration)
+}
+
+// ObserverFunc adapts a function to PhaseObserver; it fires on phase end
+// only.
+type ObserverFunc func(phase Phase, algo string, elapsed time.Duration)
+
+// OnPhaseStart implements PhaseObserver as a no-op.
+func (ObserverFunc) OnPhaseStart(Phase, string) {}
+
+// OnPhaseEnd implements PhaseObserver.
+func (f ObserverFunc) OnPhaseEnd(phase Phase, algo string, elapsed time.Duration) {
+	f(phase, algo, elapsed)
+}
+
+// Run is the outcome of one pipeline run: the shared mining.Result plus the
+// canonical name of the algorithm that actually ran (after any par-*
+// promotion) and, for recycled runs, the compression statistics.
+type Run struct {
+	mining.Result
+	// Algo is the canonical registry name that produced the result —
+	// "par-rp-hmine" when the worker knob promoted "rp-hmine", FilterAlgo
+	// for the filter path. Metrics and logs must use it verbatim.
+	Algo string
+	// CompressStats summarizes phase one of a recycled run; nil otherwise.
+	CompressStats *core.Stats
+}
+
+// Prior is the reusable knowledge an earlier round left behind, driving the
+// tighten-vs-relax decision of Pipeline.Execute.
+type Prior struct {
+	// Patterns is the earlier round's complete frequent-pattern set.
+	Patterns []mining.Pattern
+	// MinCount is the absolute threshold Patterns were mined at.
+	MinCount int
+	// Label names the reused knowledge for Result.BasedOn.
+	Label string
+}
+
+// Pipeline owns a mining run end to end. The zero value is usable: fresh
+// H-Mine, the Recycle-HM engine, MCP compression, serial mining,
+// GOMAXPROCS compression workers, no observer.
+type Pipeline struct {
+	// Fresh names the baseline algorithm for fresh runs ("" = "hmine").
+	Fresh string
+	// Recycled names the compressed-database engine ("" = "rp-hmine").
+	Recycled string
+	// Strategy picks the compression utility function (default MCP).
+	Strategy core.Strategy
+	// CompressWorkers shards the compression phase; <= 0 means GOMAXPROCS.
+	// Output is byte-identical at any worker count.
+	CompressWorkers int
+	// MineWorkers parallelizes the mining phase: 0 (default) mines
+	// serially, n > 0 uses n workers, n < 0 uses GOMAXPROCS. A non-zero
+	// value promotes the named algorithm to its par-* registry variant when
+	// one exists; algorithms without one (apriori, rp-naive, ...) mine
+	// serially.
+	MineWorkers int
+	// Observer, when set, watches every phase of every run.
+	Observer PhaseObserver
+}
+
+// resolveFresh returns the descriptor a fresh run will use, after worker
+// promotion.
+func (p *Pipeline) resolveFresh() (Descriptor, error) {
+	name := p.Fresh
+	if name == "" {
+		name = "hmine"
+	}
+	d, ok := Lookup(name)
+	if !ok {
+		return Descriptor{}, fmt.Errorf("engine: unknown algorithm %q", name)
+	}
+	if d.Kind != Fresh {
+		return Descriptor{}, fmt.Errorf("engine: %q is a recycling engine, not a baseline miner", name)
+	}
+	if p.MineWorkers != 0 && d.Par != "" {
+		d, _ = Lookup(d.Par)
+	}
+	return d, nil
+}
+
+// resolveRecycled returns the descriptor a recycled run will use, after
+// worker promotion.
+func (p *Pipeline) resolveRecycled() (Descriptor, error) {
+	name := p.Recycled
+	if name == "" {
+		name = "rp-hmine"
+	}
+	d, ok := Lookup(name)
+	if !ok {
+		return Descriptor{}, fmt.Errorf("engine: unknown recycling engine %q", name)
+	}
+	if d.Kind != Recycled {
+		return Descriptor{}, fmt.Errorf("engine: %q is a baseline miner, not a recycling engine", name)
+	}
+	if p.MineWorkers != 0 && d.Par != "" {
+		d, _ = Lookup(d.Par)
+	}
+	return d, nil
+}
+
+// FreshMiner constructs the miner a fresh run will use and returns it with
+// its canonical name. The worker knob is already applied: with MineWorkers
+// set and a registered par-* variant, the returned miner is the pool-backed
+// form and the name is the variant's.
+func (p *Pipeline) FreshMiner() (mining.Miner, string, error) {
+	d, err := p.resolveFresh()
+	if err != nil {
+		return nil, "", err
+	}
+	return d.Miner(PoolWorkers(p.MineWorkers)), d.Name, nil
+}
+
+// RecycledEngine constructs the compressed-database engine a recycled run
+// will use and returns it with its canonical name, worker knob applied as
+// in FreshMiner.
+func (p *Pipeline) RecycledEngine() (core.CDBMiner, string, error) {
+	d, err := p.resolveRecycled()
+	if err != nil {
+		return nil, "", err
+	}
+	return d.Engine(PoolWorkers(p.MineWorkers)), d.Name, nil
+}
+
+// Recycler packages the pipeline's recycled engine, strategy and
+// compression workers behind the mining.Miner interface (via
+// core.Recycler), for callers that compose with constraint pushing. The
+// returned name is the engine's canonical registry name.
+func (p *Pipeline) Recycler(fp []mining.Pattern) (mining.Miner, string, error) {
+	eng, name, err := p.RecycledEngine()
+	if err != nil {
+		return nil, "", err
+	}
+	return &core.Recycler{FP: fp, Strategy: p.Strategy, Engine: eng, CompressWorkers: p.CompressWorkers}, name, nil
+}
+
+// NewRecycler assembles a two-phase recycling miner around an explicit
+// engine instance. It exists for tests and ablations that drive configured
+// engine values (e.g. a Naive miner with the Lemma 3.1 shortcut disabled);
+// production surfaces use Pipeline instead.
+func NewRecycler(fp []mining.Pattern, strat core.Strategy, eng core.CDBMiner) *core.Recycler {
+	return &core.Recycler{FP: fp, Strategy: strat, Engine: eng}
+}
+
+// collect returns sink unchanged when non-nil, and otherwise a fresh
+// Collector whose patterns the caller copies into the Run.
+func collect(sink mining.Sink) (mining.Sink, *mining.Collector) {
+	if sink != nil {
+		return sink, nil
+	}
+	c := &mining.Collector{}
+	return c, c
+}
+
+func (p *Pipeline) observeStart(phase Phase, algo string) {
+	if p.Observer != nil {
+		p.Observer.OnPhaseStart(phase, algo)
+	}
+}
+
+func (p *Pipeline) observeEnd(phase Phase, algo string, elapsed time.Duration) {
+	if p.Observer != nil {
+		p.Observer.OnPhaseEnd(phase, algo, elapsed)
+	}
+}
+
+// Mine runs the pipeline's fresh algorithm under ctx. When sink is nil the
+// patterns are collected into the Run; otherwise they stream into sink and
+// Run.Patterns stays nil. Cancellation aborts the recursion cooperatively.
+func (p *Pipeline) Mine(ctx context.Context, db *dataset.DB, minCount int, sink mining.Sink) (Run, error) {
+	if minCount < 1 {
+		return Run{}, mining.ErrBadMinSupport
+	}
+	d, err := p.resolveFresh()
+	if err != nil {
+		return Run{}, err
+	}
+	m := d.Miner(PoolWorkers(p.MineWorkers))
+	out, col := collect(sink)
+	start := time.Now()
+	p.observeStart(PhaseMine, d.Name)
+	if err := mining.MineContext(ctx, m, db, minCount, out); err != nil {
+		return Run{}, err
+	}
+	elapsed := time.Since(start)
+	p.observeEnd(PhaseMine, d.Name, elapsed)
+	run := Run{Algo: d.Name, Result: mining.Result{
+		Source: mining.SourceFresh, MinCount: minCount, Elapsed: elapsed}}
+	if col != nil {
+		run.Patterns = col.Patterns
+	}
+	return run, nil
+}
+
+// MineRecycling runs the paper's two-phase scheme under ctx: compress db
+// with the recycled patterns fp (observed as PhaseCompress), then mine the
+// compressed database with the pipeline's engine (observed as PhaseMine).
+// Run.CompressStats reports the compression; Run.Elapsed covers both
+// phases.
+func (p *Pipeline) MineRecycling(ctx context.Context, db *dataset.DB, fp []mining.Pattern, minCount int, sink mining.Sink) (Run, error) {
+	if minCount < 1 {
+		return Run{}, mining.ErrBadMinSupport
+	}
+	d, err := p.resolveRecycled()
+	if err != nil {
+		return Run{}, err
+	}
+	eng := d.Engine(PoolWorkers(p.MineWorkers))
+	out, col := collect(sink)
+
+	start := time.Now()
+	p.observeStart(PhaseCompress, d.Name)
+	cdb, err := core.CompressParallel(ctx, db, fp, p.Strategy, p.CompressWorkers)
+	if err != nil {
+		return Run{}, err
+	}
+	p.observeEnd(PhaseCompress, d.Name, time.Since(start))
+	stats := cdb.Stats()
+
+	mineStart := time.Now()
+	p.observeStart(PhaseMine, d.Name)
+	if err := core.MineCDBContext(ctx, eng, cdb, minCount, out); err != nil {
+		return Run{}, err
+	}
+	p.observeEnd(PhaseMine, d.Name, time.Since(mineStart))
+
+	run := Run{Algo: d.Name, CompressStats: &stats, Result: mining.Result{
+		Source: mining.SourceRecycled, MinCount: minCount, Elapsed: time.Since(start)}}
+	if col != nil {
+		run.Patterns = col.Patterns
+	}
+	return run, nil
+}
+
+// Filter runs the tighten direction: the new result is the old patterns
+// that still meet minCount, supports unchanged, no mining at all.
+func (p *Pipeline) Filter(fp []mining.Pattern, minCount int) Run {
+	start := time.Now()
+	p.observeStart(PhaseFilter, FilterAlgo)
+	out := core.FilterTightened(fp, minCount)
+	elapsed := time.Since(start)
+	p.observeEnd(PhaseFilter, FilterAlgo, elapsed)
+	return Run{Algo: FilterAlgo, Result: mining.Result{
+		Patterns: out, Source: mining.SourceFiltered, MinCount: minCount, Elapsed: elapsed}}
+}
+
+// Execute implements the paper's decision tree for one round given the
+// prior round's knowledge: no prior → mine fresh; threshold tightened
+// (prior.MinCount <= minCount) → filter the old result; relaxed → recycle.
+// Run.BasedOn carries prior.Label on the reuse paths.
+func (p *Pipeline) Execute(ctx context.Context, db *dataset.DB, prior *Prior, minCount int, sink mining.Sink) (Run, error) {
+	if prior == nil {
+		return p.Mine(ctx, db, minCount, sink)
+	}
+	if prior.MinCount >= 1 && prior.MinCount <= minCount {
+		run := p.Filter(prior.Patterns, minCount)
+		run.BasedOn = prior.Label
+		if sink != nil {
+			for _, pat := range run.Patterns {
+				sink.Emit(pat.Items, pat.Support)
+			}
+			run.Patterns = nil
+		}
+		return run, nil
+	}
+	run, err := p.MineRecycling(ctx, db, prior.Patterns, minCount, sink)
+	if err != nil {
+		return Run{}, err
+	}
+	run.BasedOn = prior.Label
+	return run, nil
+}

@@ -14,13 +14,14 @@
 package incremental
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"gogreen/internal/core"
 	"gogreen/internal/dataset"
-	"gogreen/internal/hmine"
+	"gogreen/internal/engine"
 	"gogreen/internal/mining"
 )
 
@@ -39,27 +40,27 @@ type Result struct {
 // Maintainer owns an evolving database and its last-mined pattern set. Not
 // safe for concurrent use.
 type Maintainer struct {
-	tx       [][]dataset.Item
-	strategy core.Strategy
-	engine   core.CDBMiner
-	fp       []mining.Pattern
-	mined    bool
-	lastMin  int
+	tx      [][]dataset.Item
+	pipe    engine.Pipeline
+	fp      []mining.Pattern
+	mined   bool
+	lastMin int
 }
 
 // Option configures a Maintainer.
 type Option func(*Maintainer)
 
 // WithStrategy selects the compression strategy (default MCP).
-func WithStrategy(s core.Strategy) Option { return func(m *Maintainer) { m.strategy = s } }
+func WithStrategy(s core.Strategy) Option { return func(m *Maintainer) { m.pipe.Strategy = s } }
 
-// WithEngine selects the compressed-database miner (default Recycle-HM is
-// supplied by the caller; nil means the naive miner).
-func WithEngine(e core.CDBMiner) Option { return func(m *Maintainer) { m.engine = e } }
+// WithEngine selects the compressed-database miner by canonical registry
+// name, e.g. "rp-hmine" (default "rp-naive"). Unknown names surface from
+// Refresh.
+func WithEngine(name string) Option { return func(m *Maintainer) { m.pipe.Recycled = name } }
 
 // New starts a maintainer over a copy of db's tuples.
 func New(db *dataset.DB, opts ...Option) *Maintainer {
-	m := &Maintainer{strategy: core.MCP}
+	m := &Maintainer{pipe: engine.Pipeline{Recycled: "rp-naive"}}
 	m.tx = make([][]dataset.Item, db.Len())
 	copy(m.tx, db.All())
 	for _, o := range opts {
@@ -120,23 +121,24 @@ func (m *Maintainer) Refresh(minCount int) (Result, error) {
 	}
 	start := time.Now()
 	db := dataset.New(m.tx)
-	var col mining.Collector
-	recycled := false
-	if m.mined && len(m.fp) > 0 {
-		recycled = true
-		rec := &core.Recycler{FP: m.fp, Strategy: m.strategy, Engine: m.engine}
-		if err := rec.Mine(db, minCount, &col); err != nil {
-			return Result{}, err
-		}
+	var run engine.Run
+	var err error
+	recycled := m.mined && len(m.fp) > 0
+	if recycled {
+		// The database may have churned since fp was mined, so the old
+		// supports are stale: always recycle (compression uses only pattern
+		// containment), never the tighten-filter shortcut.
+		run, err = m.pipe.MineRecycling(context.Background(), db, m.fp, minCount, nil)
 	} else {
-		if err := hmine.New().Mine(db, minCount, &col); err != nil {
-			return Result{}, err
-		}
+		run, err = m.pipe.Mine(context.Background(), db, minCount, nil)
 	}
-	m.fp = col.Patterns
+	if err != nil {
+		return Result{}, err
+	}
+	m.fp = run.Patterns
 	m.mined = true
 	m.lastMin = minCount
-	return Result{Patterns: col.Patterns, Recycled: recycled, Elapsed: time.Since(start)}, nil
+	return Result{Patterns: run.Patterns, Recycled: recycled, Elapsed: time.Since(start)}, nil
 }
 
 // LastMinCount returns the threshold of the last Refresh (0 before any).

@@ -7,7 +7,6 @@ import (
 	"gogreen/internal/dataset"
 	"gogreen/internal/incremental"
 	"gogreen/internal/mining"
-	"gogreen/internal/rphmine"
 	"gogreen/internal/testutil"
 )
 
@@ -29,7 +28,7 @@ func toSet(t *testing.T, ps []mining.Pattern) mining.PatternSet {
 func TestInsertRefresh(t *testing.T) {
 	r := rand.New(rand.NewSource(61))
 	base := testutil.RandomDB(r, 60, 10, 8)
-	m := incremental.New(base, incremental.WithEngine(rphmine.New()))
+	m := incremental.New(base, incremental.WithEngine("rp-hmine"))
 
 	res, err := m.Refresh(4)
 	if err != nil {
@@ -64,7 +63,7 @@ func TestInsertRefresh(t *testing.T) {
 func TestDeleteRefresh(t *testing.T) {
 	r := rand.New(rand.NewSource(62))
 	base := testutil.RandomDB(r, 120, 8, 8)
-	m := incremental.New(base, incremental.WithEngine(rphmine.New()))
+	m := incremental.New(base, incremental.WithEngine("rp-hmine"))
 	if _, err := m.Refresh(6); err != nil {
 		t.Fatal(err)
 	}

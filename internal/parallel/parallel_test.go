@@ -6,6 +6,7 @@ import (
 
 	"gogreen/internal/core"
 	"gogreen/internal/dataset"
+	"gogreen/internal/engine"
 	"gogreen/internal/mining"
 	"gogreen/internal/parallel"
 	"gogreen/internal/testutil"
@@ -29,8 +30,7 @@ func TestParallelCDBMatchesOracle(t *testing.T) {
 		db := testutil.RandomDB(r, 40+r.Intn(100), 6+r.Intn(12), 2+r.Intn(9))
 		fp := testutil.Oracle(t, db, 5).Slice()
 		for _, workers := range []int{0, 1, 3} {
-			rec := &core.Recycler{FP: fp, Strategy: core.MCP,
-				Engine: parallel.CDBMiner{Workers: workers}}
+			rec := engine.NewRecycler(fp, core.MCP, parallel.CDBMiner{Workers: workers})
 			testutil.CheckAgainstOracle(t, rec, db, 2)
 		}
 	}

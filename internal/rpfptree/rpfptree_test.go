@@ -6,18 +6,19 @@ import (
 
 	"gogreen/internal/core"
 	"gogreen/internal/dataset"
+	"gogreen/internal/engine"
 	"gogreen/internal/mining"
 	"gogreen/internal/rpfptree"
 	"gogreen/internal/testutil"
 )
 
-func engine() core.CDBMiner { return rpfptree.New() }
+func newEngine() core.CDBMiner { return rpfptree.New() }
 
 func TestPaperExample(t *testing.T) {
 	db := testutil.PaperDB()
 	fp := testutil.Oracle(t, db, 3).Slice()
 	for _, strat := range []core.Strategy{core.MCP, core.MLP} {
-		rec := &core.Recycler{FP: fp, Strategy: strat, Engine: engine()}
+		rec := engine.NewRecycler(fp, strat, newEngine())
 		for min := 1; min <= 5; min++ {
 			testutil.CheckAgainstOracle(t, rec, db, min)
 		}
@@ -33,7 +34,7 @@ func TestRandomized(t *testing.T) {
 		oldMin := 2 + r.Intn(9)
 		fp := testutil.Oracle(t, db, oldMin).Slice()
 		for _, strat := range []core.Strategy{core.MCP, core.MLP} {
-			rec := &core.Recycler{FP: fp, Strategy: strat, Engine: engine()}
+			rec := engine.NewRecycler(fp, strat, newEngine())
 			for _, newMin := range []int{1, 2, oldMin - 1, oldMin + 2} {
 				if newMin < 1 {
 					continue
@@ -48,7 +49,7 @@ func TestRandomized(t *testing.T) {
 // plain pseudo-projection mining and stays exact.
 func TestNoRecycledPatterns(t *testing.T) {
 	db := testutil.PaperDB()
-	rec := &core.Recycler{FP: nil, Strategy: core.MCP, Engine: engine()}
+	rec := engine.NewRecycler(nil, core.MCP, newEngine())
 	testutil.CheckAgainstOracle(t, rec, db, 2)
 }
 
@@ -63,7 +64,7 @@ func TestDenseSingleGroup(t *testing.T) {
 	tx = append(tx, []dataset.Item{0, 9}, []dataset.Item{1, 9})
 	db := dataset.New(tx)
 	fp := testutil.Oracle(t, db, 40).Slice()
-	rec := &core.Recycler{FP: fp, Strategy: core.MCP, Engine: engine()}
+	rec := engine.NewRecycler(fp, core.MCP, newEngine())
 	testutil.CheckAgainstOracle(t, rec, db, 40)
 	testutil.CheckAgainstOracle(t, rec, db, 2)
 	testutil.CheckAgainstOracle(t, rec, db, 1)
@@ -71,7 +72,7 @@ func TestDenseSingleGroup(t *testing.T) {
 
 func TestBadMinSupport(t *testing.T) {
 	cdb := core.Compress(dataset.New(nil), nil, core.MCP)
-	err := engine().MineCDB(cdb, 0, mining.SinkFunc(func([]dataset.Item, int) {}))
+	err := newEngine().MineCDB(cdb, 0, mining.SinkFunc(func([]dataset.Item, int) {}))
 	if err != mining.ErrBadMinSupport {
 		t.Errorf("got %v, want ErrBadMinSupport", err)
 	}
@@ -80,7 +81,7 @@ func TestBadMinSupport(t *testing.T) {
 func TestEmptyCDB(t *testing.T) {
 	cdb := core.Compress(dataset.New(nil), nil, core.MCP)
 	var c mining.Collector
-	if err := engine().MineCDB(cdb, 1, &c); err != nil {
+	if err := newEngine().MineCDB(cdb, 1, &c); err != nil {
 		t.Fatal(err)
 	}
 	if len(c.Patterns) != 0 {

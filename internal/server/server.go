@@ -53,14 +53,11 @@ import (
 	"sync"
 	"time"
 
-	"gogreen/internal/core"
 	"gogreen/internal/dataset"
-	"gogreen/internal/hmine"
+	"gogreen/internal/engine"
 	"gogreen/internal/jobs"
 	"gogreen/internal/metrics"
 	"gogreen/internal/mining"
-	"gogreen/internal/parallel"
-	"gogreen/internal/rphmine"
 )
 
 // Server is the service state. Safe for concurrent use.
@@ -76,6 +73,10 @@ type Server struct {
 
 	compressWorkers int
 	mineWorkers     int
+
+	// pipe is the engine pipeline every mining run goes through; its
+	// observer is the metrics bundle.
+	pipe engine.Pipeline
 
 	reg *metrics.Registry
 	met *serverMetrics
@@ -176,6 +177,11 @@ func New(opts ...Option) *Server {
 	s.met = newServerMetrics(s.reg, s.jobs)
 	s.met.compressWorkers.Set(int64(s.compressWorkers))
 	s.met.mineWorkers.Set(int64(effectiveMineWorkers(s.mineWorkers)))
+	s.pipe = engine.Pipeline{
+		CompressWorkers: s.compressWorkers,
+		MineWorkers:     s.mineWorkers,
+		Observer:        s.met,
+	}
 	return s
 }
 
@@ -187,15 +193,6 @@ func effectiveMineWorkers(n int) int {
 		return 1
 	case n < 0:
 		return runtime.GOMAXPROCS(0)
-	}
-	return n
-}
-
-// poolWorkers maps the server's WithMineWorkers knob (n < 0 means
-// GOMAXPROCS) onto the parallel package's convention (0 means GOMAXPROCS).
-func poolWorkers(n int) int {
-	if n < 0 {
-		return 0
 	}
 	return n
 }
@@ -268,14 +265,31 @@ func newServerMetrics(reg *metrics.Registry, jm *jobs.Manager) *serverMetrics {
 	return m
 }
 
-// observe records one finished mining run.
+// observe records one finished mining run. algo is the canonical registry
+// name the pipeline reports (engine.Run.Algo), so the mine.algo.<algo>
+// counter and the mine_duration_seconds.<algo> histogram fed by OnPhaseEnd
+// always share a name.
 func (m *serverMetrics) observe(source mining.Source, algo string, elapsed time.Duration) {
 	m.total.Inc()
 	m.reg.Counter("mine.source." + string(source)).Inc()
 	m.reg.Counter("mine.algo." + algo).Inc()
-	m.reg.Histogram("mine_duration_seconds."+algo, metrics.DefaultSecondsBounds).
-		Observe(elapsed.Seconds())
 	m.latency.Observe(float64(elapsed.Microseconds()) / 1000)
+}
+
+// OnPhaseStart implements engine.PhaseObserver.
+func (m *serverMetrics) OnPhaseStart(engine.Phase, string) {}
+
+// OnPhaseEnd implements engine.PhaseObserver: the compression phase feeds
+// the global compress histogram, the mining and filter phases the
+// per-algorithm duration histogram under the canonical registry name.
+func (m *serverMetrics) OnPhaseEnd(phase engine.Phase, algo string, elapsed time.Duration) {
+	switch phase {
+	case engine.PhaseCompress:
+		m.compressSecs.Observe(elapsed.Seconds())
+	case engine.PhaseMine, engine.PhaseFilter:
+		m.reg.Histogram("mine_duration_seconds."+algo, metrics.DefaultSecondsBounds).
+			Observe(elapsed.Seconds())
+	}
 }
 
 // DBInfo describes one database in list/stats responses.
@@ -448,15 +462,12 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	e.mu.Lock()
 	numTx := e.stats.NumTx
 	e.mu.Unlock()
-	min := req.MinCount
-	if min == 0 && req.MinSupport > 0 {
-		if req.MinSupport >= 1 {
-			fail(w, http.StatusBadRequest, "min_support must be a fraction below 1")
-			return
-		}
-		min = mining.MinCount(numTx, req.MinSupport)
-	}
-	if min < 1 {
+	min, err := engine.Threshold{Count: req.MinCount, Support: req.MinSupport}.Resolve(numTx)
+	switch {
+	case errors.Is(err, engine.ErrBadMinSupport):
+		fail(w, http.StatusBadRequest, "min_support must be a fraction below 1")
+		return
+	case err != nil:
 		fail(w, http.StatusBadRequest, "need min_count >= 1 or min_support in (0,1)")
 		return
 	}
@@ -514,31 +525,26 @@ func (s *Server) enqueueMine(w http.ResponseWriter, e *entry, req MineRequest, m
 type minePlan struct {
 	db      *dataset.DB
 	version int64
-	source  mining.Source
-	basedOn string
-	base    []mining.Pattern // patterns of the reused saved set (immutable)
+	// prior is the saved set the run reuses; nil mines fresh.
+	prior *engine.Prior
+	// forceRecycle skips the pipeline's tighten-vs-relax decision: an
+	// explicitly named saved set is always recycled.
+	forceRecycle bool
 }
 
-// plan chooses the source — fresh, filtered, or recycled — exactly as the
-// paper's decision tree prescribes, and snapshots everything the run needs.
-func plan(e *entry, req MineRequest, min int) (minePlan, error) {
+// plan snapshots everything the run needs under the entry lock. The
+// fresh/filtered/recycled decision itself belongs to the engine pipeline;
+// plan only selects which saved set (if any) to hand it.
+func plan(e *entry, req MineRequest) (minePlan, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	p := minePlan{db: e.db, version: e.version}
 	switch use := req.Use; {
 	case use == "fresh":
-		p.source = mining.SourceFresh
 
 	case use == "" || use == "auto":
 		if name, set := bestSet(e.sets); set != nil {
-			p.basedOn, p.base = name, set.patterns
-			if set.minCount <= min {
-				p.source = mining.SourceFiltered
-			} else {
-				p.source = mining.SourceRecycled
-			}
-		} else {
-			p.source = mining.SourceFresh
+			p.prior = &engine.Prior{Patterns: set.patterns, MinCount: set.minCount, Label: name}
 		}
 
 	default:
@@ -546,8 +552,8 @@ func plan(e *entry, req MineRequest, min int) (minePlan, error) {
 		if !ok {
 			return p, fmt.Errorf("no saved pattern set %q", use)
 		}
-		p.source = mining.SourceRecycled
-		p.basedOn, p.base = use, set.patterns
+		p.prior = &engine.Prior{Patterns: set.patterns, MinCount: set.minCount, Label: use}
+		p.forceRecycle = true
 	}
 	return p, nil
 }
@@ -563,7 +569,7 @@ func (s *Server) mine(ctx context.Context, e *entry, req MineRequest, min int) (
 		ctx, cancel = context.WithTimeout(ctx, s.mineTimeout)
 		defer cancel()
 	}
-	p, err := plan(e, req, min)
+	p, err := plan(e, req)
 	if err != nil {
 		return nil, err
 	}
@@ -573,55 +579,26 @@ func (s *Server) mine(ctx context.Context, e *entry, req MineRequest, min int) (
 
 	s.met.inFlight.Add(1)
 	defer s.met.inFlight.Add(-1)
-	start := time.Now()
-	var patterns []mining.Pattern
-	var algo string
-	switch p.source {
-	case mining.SourceFiltered:
-		algo = "filter"
-		patterns = core.FilterTightened(p.base, min)
-
-	case mining.SourceFresh:
-		var miner mining.ContextMiner = hmine.New()
-		if s.mineWorkers != 0 {
-			miner = parallel.Miner{Workers: poolWorkers(s.mineWorkers)}
-		}
-		algo = miner.Name()
-		var col mining.Collector
-		if err := miner.MineContext(ctx, p.db, min, &col); err != nil {
-			return nil, s.mineFailed(err)
-		}
-		patterns = col.Patterns
-
-	case mining.SourceRecycled:
-		var engine core.CDBMiner = rphmine.New()
-		if s.mineWorkers != 0 {
-			engine = parallel.Wrap(engine, poolWorkers(s.mineWorkers))
-		}
-		algo = engine.Name()
-		compressStart := time.Now()
-		cdb, err := core.CompressParallel(ctx, p.db, p.base, core.MCP, s.compressWorkers)
-		if err != nil {
-			return nil, s.mineFailed(err)
-		}
-		s.met.compressSecs.Observe(time.Since(compressStart).Seconds())
-		s.met.ratio.Observe(cdb.Stats().Ratio)
-		var col mining.Collector
-		if err := core.MineCDBContext(ctx, engine, cdb, min, &col); err != nil {
-			return nil, s.mineFailed(err)
-		}
-		patterns = col.Patterns
+	var run engine.Run
+	switch {
+	case p.prior == nil:
+		run, err = s.pipe.Mine(ctx, p.db, min, nil)
+	case p.forceRecycle:
+		run, err = s.pipe.MineRecycling(ctx, p.db, p.prior.Patterns, min, nil)
+		run.BasedOn = p.prior.Label
+	default:
+		run, err = s.pipe.Execute(ctx, p.db, p.prior, min, nil)
 	}
-	elapsed := time.Since(start)
-	s.met.observe(p.source, algo, elapsed)
-
-	res := mining.Result{
-		Patterns: patterns,
-		Source:   p.source,
-		BasedOn:  p.basedOn,
-		MinCount: min,
-		Elapsed:  elapsed,
+	if err != nil {
+		return nil, s.mineFailed(err)
 	}
+	if run.CompressStats != nil {
+		s.met.ratio.Observe(run.CompressStats.Ratio)
+	}
+	s.met.observe(run.Source, run.Algo, run.Elapsed)
+
+	patterns := run.Patterns
+	res := run.Result
 	resp := &MineResponse{
 		Count:     len(res.Patterns),
 		MinCount:  res.MinCount,

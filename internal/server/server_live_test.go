@@ -129,6 +129,16 @@ func TestParallelMineCancelledOnDisconnect(t *testing.T) {
 	if v := srv.Registry().Counter("mine.algo.par-hmine").Value(); v != 1 {
 		t.Errorf("mine.algo.par-hmine = %d, want 1", v)
 	}
+	// The duration histogram uses the same canonical registry name as the
+	// counter, so the two families always line up per algorithm.
+	_, body = do(t, "GET", ts.URL+"/metrics", "")
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("metrics JSON: %v\n%s", err, body)
+	}
+	if h := snap.Histograms["mine_duration_seconds.par-hmine"]; h.Count != 1 {
+		t.Errorf("histogram mine_duration_seconds.par-hmine count = %d, want 1", h.Count)
+	}
 }
 
 // TestMineDeadline proves WithMineTimeout bounds a run: the request comes

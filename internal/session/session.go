@@ -21,9 +21,8 @@ import (
 	"gogreen/internal/constraints"
 	"gogreen/internal/core"
 	"gogreen/internal/dataset"
-	"gogreen/internal/hmine"
+	"gogreen/internal/engine"
 	"gogreen/internal/mining"
-	"gogreen/internal/parallel"
 )
 
 // Source says how a round's result was produced. It is the shared
@@ -60,41 +59,39 @@ type Round struct {
 // Session is an interactive mining session over one database. Not safe for
 // concurrent use.
 type Session struct {
-	db              *dataset.DB
-	strategy        core.Strategy
-	engine          core.CDBMiner
-	baseline        mining.Miner
-	compressWorkers int
-	mineWorkers     int
-	rounds          []Round
+	db     *dataset.DB
+	pipe   engine.Pipeline
+	rounds []Round
 }
 
 // Option configures a session.
 type Option func(*Session)
 
 // WithStrategy selects the compression strategy (default MCP).
-func WithStrategy(s core.Strategy) Option { return func(se *Session) { se.strategy = s } }
+func WithStrategy(s core.Strategy) Option { return func(se *Session) { se.pipe.Strategy = s } }
 
-// WithEngine selects the compressed-database miner (default Recycle-HM is
-// chosen by the caller; nil means the naive miner).
-func WithEngine(e core.CDBMiner) Option { return func(se *Session) { se.engine = e } }
+// WithEngine selects the compressed-database miner by canonical registry
+// name, e.g. "rp-hmine" (default "rp-naive"). Unknown names surface when a
+// round recycles.
+func WithEngine(name string) Option { return func(se *Session) { se.pipe.Recycled = name } }
 
-// WithBaseline selects the from-scratch miner (default H-Mine).
-func WithBaseline(m mining.Miner) Option { return func(se *Session) { se.baseline = m } }
+// WithBaseline selects the from-scratch miner by canonical registry name
+// (default "hmine"). Unknown names surface when a round mines fresh.
+func WithBaseline(name string) Option { return func(se *Session) { se.pipe.Fresh = name } }
 
 // WithCompressWorkers shards the compression phase of recycled rounds over n
 // workers (default GOMAXPROCS; output is byte-identical at any count).
-func WithCompressWorkers(n int) Option { return func(se *Session) { se.compressWorkers = n } }
+func WithCompressWorkers(n int) Option { return func(se *Session) { se.pipe.CompressWorkers = n } }
 
 // WithMineWorkers parallelizes the mining phase of fresh and recycled
 // rounds over n worker goroutines (n < 0 means GOMAXPROCS; 0, the default,
 // mines serially). The emitted pattern set and supports are identical to
-// serial mining; engines without a parallel wrapper stay serial.
-func WithMineWorkers(n int) Option { return func(se *Session) { se.mineWorkers = n } }
+// serial mining; algorithms without a par-* registry variant stay serial.
+func WithMineWorkers(n int) Option { return func(se *Session) { se.pipe.MineWorkers = n } }
 
 // New starts a session over db.
 func New(db *dataset.DB, opts ...Option) *Session {
-	s := &Session{db: db, strategy: core.MCP, baseline: hmine.New()}
+	s := &Session{db: db, pipe: engine.Pipeline{Recycled: "rp-naive"}}
 	for _, o := range opts {
 		o(s)
 	}
@@ -142,8 +139,12 @@ func (s *Session) Mine(ctx context.Context, cs constraints.Set) (Result, error) 
 	}
 
 	// Fresh path.
+	miner, _, err := s.pipe.FreshMiner()
+	if err != nil {
+		return Result{}, fmt.Errorf("session: %w", err)
+	}
 	var col mining.Collector
-	if err := constraints.MineContext(ctx, s.db, cs, s.freshMiner(), &col); err != nil {
+	if err := constraints.MineContext(ctx, s.db, cs, miner, &col); err != nil {
 		return Result{}, fmt.Errorf("session: fresh mining: %w", err)
 	}
 	res := Result{
@@ -165,7 +166,10 @@ func (s *Session) MineRecycling(ctx context.Context, cs constraints.Set, fp []mi
 		return Result{}, ErrNoMinSupport
 	}
 	start := time.Now()
-	rec := &core.Recycler{FP: fp, Strategy: s.strategy, Engine: s.recycleEngine(), CompressWorkers: s.compressWorkers}
+	rec, _, err := s.pipe.Recycler(fp)
+	if err != nil {
+		return Result{}, fmt.Errorf("session: %w", err)
+	}
 	var col mining.Collector
 	if err := constraints.MineContext(ctx, s.db, cs, rec, &col); err != nil {
 		return Result{}, fmt.Errorf("session: recycling: %w", err)
@@ -175,39 +179,6 @@ func (s *Session) MineRecycling(ctx context.Context, cs constraints.Set, fp []mi
 			MinCount: min, Elapsed: time.Since(start)},
 		Round: -1,
 	}, nil
-}
-
-// freshMiner returns the baseline, swapped for the parallel H-Mine wrapper
-// when mine workers are configured and the baseline is the default H-Mine.
-func (s *Session) freshMiner() mining.Miner {
-	if s.mineWorkers != 0 {
-		if _, ok := s.baseline.(*hmine.Miner); ok {
-			return parallel.Miner{Workers: poolWorkers(s.mineWorkers)}
-		}
-	}
-	return s.baseline
-}
-
-// recycleEngine returns the configured engine, wrapped for parallel mining
-// when mine workers are configured and the engine supports it.
-func (s *Session) recycleEngine() core.CDBMiner {
-	eng := s.engine
-	if s.mineWorkers == 0 {
-		return eng
-	}
-	if eng == nil {
-		eng = core.Naive{}
-	}
-	return parallel.Wrap(eng, poolWorkers(s.mineWorkers))
-}
-
-// poolWorkers maps the session's WithMineWorkers knob (n < 0 means
-// GOMAXPROCS) onto the parallel package's convention (0 means GOMAXPROCS).
-func poolWorkers(n int) int {
-	if n < 0 {
-		return 0
-	}
-	return n
 }
 
 // filterSource returns the most recent history round whose constraints are

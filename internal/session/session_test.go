@@ -8,7 +8,6 @@ import (
 	"gogreen/internal/constraints"
 	"gogreen/internal/core"
 	"gogreen/internal/mining"
-	"gogreen/internal/rphmine"
 	"gogreen/internal/session"
 	"gogreen/internal/testutil"
 )
@@ -30,7 +29,7 @@ func toSet(t *testing.T, ps []mining.Pattern) mining.PatternSet {
 // relax to 3, relax to 2, tighten back to 4 — checking sources and results.
 func TestIterativeRefinement(t *testing.T) {
 	db := testutil.PaperDB()
-	s := session.New(db, session.WithEngine(rphmine.New()))
+	s := session.New(db, session.WithEngine("rp-hmine"))
 
 	res1, err := s.Mine(context.Background(), constraints.Set{constraints.MinSupport{Count: 4}})
 	if err != nil {
@@ -152,7 +151,7 @@ func TestRandomizedSessions(t *testing.T) {
 	r := rand.New(rand.NewSource(77))
 	for rep := 0; rep < 10; rep++ {
 		db := testutil.RandomDB(r, 30+r.Intn(60), 5+r.Intn(10), 1+r.Intn(8))
-		s := session.New(db, session.WithEngine(rphmine.New()))
+		s := session.New(db, session.WithEngine("rp-hmine"))
 		min := 6
 		for round := 0; round < 6; round++ {
 			min += r.Intn(5) - 2 // wander up and down

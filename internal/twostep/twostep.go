@@ -21,19 +21,20 @@
 package twostep
 
 import (
+	"context"
 	"sort"
 
 	"gogreen/internal/core"
 	"gogreen/internal/dataset"
-	"gogreen/internal/hmine"
+	"gogreen/internal/engine"
 	"gogreen/internal/mining"
 )
 
 // Options configures the two-step strategies.
 type Options struct {
-	// Engine mines compressed databases (nil = Recycle-HM is chosen by
-	// callers in this module's commands; nil here means the naive miner).
-	Engine core.CDBMiner
+	// Engine names the compressed-database miner by canonical registry
+	// name, e.g. "rp-hmine" (default "rp-naive").
+	Engine string
 	// Strategy ranks patterns for compression (default MCP, as the paper
 	// proposes).
 	Strategy core.Strategy
@@ -50,6 +51,16 @@ func (o Options) factor() int {
 	return o.Factor
 }
 
+// pipeline assembles the engine pipeline the strategies run through: fresh
+// H-Mine seeds, the configured engine mines the compressed cascade rounds.
+func (o Options) pipeline() engine.Pipeline {
+	name := o.Engine
+	if name == "" {
+		name = "rp-naive"
+	}
+	return engine.Pipeline{Recycled: name, Strategy: o.Strategy}
+}
+
 // Mine runs the literal two-step split: a cheap pass at an intermediate
 // threshold, then compression with those patterns and a full mine at
 // minCount. The result is the complete frequent-pattern set at minCount.
@@ -63,12 +74,13 @@ func Mine(db *dataset.DB, minCount int, opts Options, sink mining.Sink) error {
 		return mining.ErrBadMinSupport
 	}
 	mid := intermediate(minCount, db.Len(), opts.factor())
-	var seed mining.Collector
-	if err := hmine.New().Mine(db, mid, &seed); err != nil {
+	pipe := opts.pipeline()
+	seed, err := pipe.Mine(context.Background(), db, mid, nil)
+	if err != nil {
 		return err
 	}
-	rec := &core.Recycler{FP: seed.Patterns, Strategy: opts.Strategy, Engine: opts.Engine}
-	return rec.Mine(db, minCount, sink)
+	_, err = pipe.MineRecycling(context.Background(), db, seed.Patterns, minCount, sink)
+	return err
 }
 
 // intermediate picks the seed threshold above target for one split step.
@@ -92,28 +104,28 @@ func Progressive(db *dataset.DB, minCount int, opts Options, sink mining.Sink) e
 	}
 	f := opts.factor()
 	ladder := thresholdLadder(minCount, db.Len(), f)
+	pipe := opts.pipeline()
 	var fp []mining.Pattern
 	for i, t := range ladder {
 		last := i == len(ladder)-1
-		var col mining.Collector
-		var dst mining.Sink = &col
+		var dst mining.Sink
 		if last {
 			dst = sink
 		}
+		var run engine.Run
+		var err error
 		if fp == nil {
-			if err := hmine.New().Mine(db, t, dst); err != nil {
-				return err
-			}
+			run, err = pipe.Mine(context.Background(), db, t, dst)
 		} else {
-			rec := &core.Recycler{FP: fp, Strategy: opts.Strategy, Engine: opts.Engine}
-			if err := rec.Mine(db, t, dst); err != nil {
-				return err
-			}
+			run, err = pipe.MineRecycling(context.Background(), db, fp, t, dst)
+		}
+		if err != nil {
+			return err
 		}
 		if last {
 			return nil
 		}
-		fp = col.Patterns
+		fp = run.Patterns
 	}
 	return nil
 }
@@ -131,20 +143,20 @@ func TopK(db *dataset.DB, k int, opts Options) ([]mining.Pattern, error) {
 	}
 	f := opts.factor()
 	threshold := db.Len()
+	pipe := opts.pipeline()
 	var fp []mining.Pattern
 	for {
-		var col mining.Collector
+		var run engine.Run
+		var err error
 		if fp == nil {
-			if err := hmine.New().Mine(db, threshold, &col); err != nil {
-				return nil, err
-			}
+			run, err = pipe.Mine(context.Background(), db, threshold, nil)
 		} else {
-			rec := &core.Recycler{FP: fp, Strategy: opts.Strategy, Engine: opts.Engine}
-			if err := rec.Mine(db, threshold, &col); err != nil {
-				return nil, err
-			}
+			run, err = pipe.MineRecycling(context.Background(), db, fp, threshold, nil)
 		}
-		fp = col.Patterns
+		if err != nil {
+			return nil, err
+		}
+		fp = run.Patterns
 		if len(fp) >= k || threshold == 1 {
 			break
 		}

@@ -7,13 +7,12 @@ import (
 
 	"gogreen/internal/dataset"
 	"gogreen/internal/mining"
-	"gogreen/internal/rphmine"
 	"gogreen/internal/testutil"
 	"gogreen/internal/twostep"
 )
 
 func opts() twostep.Options {
-	return twostep.Options{Engine: rphmine.New()}
+	return twostep.Options{Engine: "rp-hmine"}
 }
 
 // TestMineMatchesOracle: the two-step split is exact.
