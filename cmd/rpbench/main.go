@@ -1,5 +1,6 @@
 // Command rpbench runs the repository's performance benchmark grid and
-// writes the BENCH_compress.json / BENCH_mine.json baselines.
+// writes the BENCH_compress.json / BENCH_mine.json / BENCH_pipeline.json /
+// BENCH_lattice.json baselines.
 //
 // The compress experiment measures phase one of recycling — the naive
 // serial scan, the indexed serial engine, and the sharded parallel engine —
@@ -12,13 +13,22 @@
 // each parallel row's speedup against its own miner's serial row. The
 // pipeline experiment runs the full two-phase pipeline through
 // engine.Pipeline and records the per-phase timings its PhaseObserver hook
-// reports.
+// reports. The lattice experiment serves a Zipf-distributed threshold stream
+// with and without the materialized threshold lattice and records the
+// steady-state speedup, cache-hit count, and mine-phase count.
+//
+// Every experiment runs once per point of a GOMAXPROCS grid (default
+// 1, 4 and NumCPU, deduplicated) and each entry embeds the gomaxprocs it
+// was measured at, so parallel speedup rows can never masquerade as
+// multi-core results again. On a machine without real parallelism
+// (NumCPU=1) writing baselines is refused unless -allow-serial states the
+// limitation explicitly.
 //
 // Usage:
 //
 //	go run ./cmd/rpbench              # full grid, writes ./BENCH_*.json
 //	go run ./cmd/rpbench -quick       # CI smoke: smaller inputs, same files
-//	go run ./cmd/rpbench -scale 0.02 -out bench-out
+//	go run ./cmd/rpbench -scale 0.02 -out bench-out -procs 1,8
 package main
 
 import (
@@ -26,6 +36,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 
 	"gogreen/internal/bench"
 )
@@ -34,13 +48,26 @@ func main() {
 	quick := flag.Bool("quick", false, "run smaller inputs (CI smoke mode)")
 	scale := flag.Float64("scale", 0.01, "dataset scale for preset workloads (1.0 = paper size)")
 	out := flag.String("out", ".", "directory for the BENCH_*.json files")
+	procs := flag.String("procs", "", "comma-separated GOMAXPROCS grid (default \"1,4,max\"; \"max\" = NumCPU)")
+	allowSerial := flag.Bool("allow-serial", false,
+		"allow writing baselines on a single-core machine, where parallel speedups are scheduling artifacts")
 	flag.Parse()
+
+	grid, err := procsGrid(*procs)
+	if err != nil {
+		fatal(err)
+	}
+	if (runtime.NumCPU() == 1 || grid[len(grid)-1] == 1) && !*allowSerial {
+		fatal(fmt.Errorf("refusing to write baselines: NumCPU=%d, procs grid %v has no real parallelism "+
+			"(speedup columns would be meaningless); pass -allow-serial to record anyway", runtime.NumCPU(), grid))
+	}
 
 	cfg := bench.Config{Scale: *scale}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
 
+	defaultProcs := runtime.GOMAXPROCS(0)
 	for _, exp := range []struct {
 		file string
 		run  func(bench.Config, bool) (bench.PerfReport, error)
@@ -48,24 +75,66 @@ func main() {
 		{"BENCH_compress.json", bench.CompressPerf},
 		{"BENCH_mine.json", bench.MinePerf},
 		{"BENCH_pipeline.json", bench.PipelinePerf},
+		{"BENCH_lattice.json", bench.LatticePerf},
 	} {
-		rep, err := exp.run(cfg, *quick)
-		if err != nil {
-			fatal(err)
+		var merged bench.PerfReport
+		for i, g := range grid {
+			runtime.GOMAXPROCS(g)
+			rep, err := exp.run(cfg, *quick)
+			runtime.GOMAXPROCS(defaultProcs)
+			if err != nil {
+				fatal(err)
+			}
+			if i == 0 {
+				merged = rep
+				merged.ProcsGrid = []int{rep.GOMAXPROCS}
+			} else {
+				merged.Merge(rep)
+			}
 		}
+		merged.NumCPU = runtime.NumCPU()
 		path := filepath.Join(*out, exp.file)
-		if err := os.WriteFile(path, rep.JSON(), 0o644); err != nil {
+		if err := os.WriteFile(path, merged.JSON(), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %s\n", path)
-		for _, e := range rep.Entries {
-			fmt.Printf("  %-12s %-20s %12.0f ns/op  %8d allocs/op", e.Dataset, e.Variant, e.NsPerOp, e.AllocsPerOp)
+		fmt.Printf("wrote %s (procs grid %v)\n", path, merged.ProcsGrid)
+		for _, e := range merged.Entries {
+			fmt.Printf("  p%-3d %-12s %-20s %12.0f ns/op  %8d allocs/op",
+				e.GOMAXPROCS, e.Dataset, e.Variant, e.NsPerOp, e.AllocsPerOp)
 			if e.SpeedupVsSerial > 0 {
 				fmt.Printf("  %5.2fx", e.SpeedupVsSerial)
 			}
 			fmt.Println()
 		}
 	}
+}
+
+// procsGrid parses the -procs flag into a sorted, deduplicated GOMAXPROCS
+// grid; empty means the default 1,4,NumCPU.
+func procsGrid(s string) ([]int, error) {
+	if s == "" {
+		s = "1,4,max"
+	}
+	var grid []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		n := runtime.NumCPU()
+		if f != "max" {
+			var err error
+			if n, err = strconv.Atoi(f); err != nil || n < 1 {
+				return nil, fmt.Errorf("bad -procs entry %q", f)
+			}
+		}
+		grid = append(grid, n)
+	}
+	sort.Ints(grid)
+	out := grid[:0]
+	for i, g := range grid {
+		if i == 0 || g != out[len(out)-1] {
+			out = append(out, g)
+		}
+	}
+	return out, nil
 }
 
 func fatal(err error) {

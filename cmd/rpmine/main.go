@@ -11,6 +11,12 @@
 //
 //	rpmine -in data.basket -minsup 0.02 -recycle round1.fp -algo rp-hmine
 //
+// A whole threshold sweep in one process, served through the materialized
+// threshold lattice (each round filters or relax-mines from the previous
+// rounds' rungs instead of starting cold; -save keeps the last round):
+//
+//	rpmine -in data.basket -minsup 0.05,0.02,0.01,0.02
+//
 // Every algorithm comes from the engine registry — run `rpmine -list` for
 // the full catalogue: baselines (apriori, hmine, ...), recycling engines
 // (rp-naive, rp-hmine, ...; they use -recycle), and the derived parallel
@@ -19,10 +25,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -38,7 +46,8 @@ import (
 func main() {
 	var (
 		in       = flag.String("in", "", "input basket file (numeric item ids)")
-		minsup   = flag.Float64("minsup", 0.01, "minimum support (fraction <1, or absolute count >=1)")
+		minsup   = flag.String("minsup", "0.01", "minimum support (fraction <1, or absolute count >=1); a comma-separated list runs a lattice-served sweep")
+		latticed = flag.Bool("lattice", true, "serve multi-threshold sweeps through the materialized threshold lattice")
 		algo     = flag.String("algo", "hmine", "algorithm (see doc comment)")
 		strategy = flag.String("strategy", "mcp", "compression strategy for recycling: mcp or mlp")
 		recycle  = flag.String("recycle", "", "pattern file from an earlier round to recycle")
@@ -67,10 +76,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	min := int(*minsup)
-	if *minsup < 1 {
-		min = mining.MinCount(db.Len(), *minsup)
+	mins, err := parseMinsups(*minsup, db.Len())
+	if err != nil {
+		fatal(err)
 	}
+	min := mins[len(mins)-1]
 	st := db.Stats()
 	fmt.Fprintf(os.Stderr, "loaded %d tuples (avg len %.1f, %d items); minsup=%d tuples\n",
 		st.NumTx, st.AvgLen, st.NumItems, min)
@@ -81,12 +91,14 @@ func main() {
 	}
 
 	var recycled []mining.Pattern
+	recycledMin := 0
 	if *recycle != "" {
 		set, err := patternio.ReadFile(*recycle)
 		if err != nil {
 			fatal(err)
 		}
 		recycled = set.Patterns
+		recycledMin = set.MinSupport
 		fmt.Fprintf(os.Stderr, "recycling %d patterns from %s\n", len(recycled), *recycle)
 	}
 
@@ -99,7 +111,14 @@ func main() {
 	}
 
 	start := time.Now()
-	if err := mine(db, min, *algo, strat, recycled, int64(*memMB)<<20, *workers, sink); err != nil {
+	if len(mins) > 1 {
+		if *memMB > 0 {
+			fatal(fmt.Errorf("-mem is not supported with a -minsup sweep"))
+		}
+		if err := sweep(db, mins, *algo, strat, recycled, recycledMin, *workers, *latticed, sink); err != nil {
+			fatal(err)
+		}
+	} else if err := mine(db, min, *algo, strat, recycled, int64(*memMB)<<20, *workers, sink); err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -163,6 +182,72 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// parseMinsups parses the -minsup flag: each comma-separated entry is a
+// fraction (<1) of |DB| or an absolute tuple count (>=1).
+func parseMinsups(s string, dbLen int) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("rpmine: bad -minsup entry %q", f)
+		}
+		m := int(v)
+		if v < 1 {
+			m = mining.MinCount(dbLen, v)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// sweep mines several thresholds in one process through the engine's
+// cache-aware serving path: with -lattice (the default) each round filters
+// or relax-mines from the rungs earlier rounds installed; without it, each
+// round still recycles the previous round's result as its prior. Only the
+// last round streams into sink.
+func sweep(db *dataset.DB, mins []int, algo string, strat core.Strategy, recycled []mining.Pattern, recycledMin, workers int, latticed bool, sink mining.Sink) error {
+	d, ok := engine.Lookup(algo)
+	if !ok {
+		return fmt.Errorf("rpmine: unknown algorithm %q (run rpmine -list)", algo)
+	}
+	p := engine.Pipeline{Strategy: strat, MineWorkers: workers}
+	if d.Kind == engine.Fresh {
+		p.Fresh = algo
+	} else {
+		p.Recycled = algo
+	}
+	cfg := engine.CacheConfig{Enabled: latticed}
+	cfg.Attach(&p, db)
+
+	var prior *engine.Prior
+	if len(recycled) > 0 && recycledMin >= 1 {
+		prior = &engine.Prior{Patterns: recycled, MinCount: recycledMin, Label: "recycle-file"}
+	}
+	for i, m := range mins {
+		run, err := p.Serve(context.Background(), db, prior, m, nil)
+		if err != nil {
+			return err
+		}
+		from, cache := string(run.Source), run.Cache
+		if run.BasedOn != "" {
+			from += " from " + run.BasedOn
+		}
+		if cache == "" {
+			cache = "off"
+		}
+		fmt.Fprintf(os.Stderr, "round %d: minsup=%d -> %d patterns (%s, cache %s, %v)\n",
+			i+1, m, len(run.Patterns), from, cache, run.Elapsed)
+		if i == len(mins)-1 {
+			for _, pat := range run.Patterns {
+				sink.Emit(pat.Items, pat.Support)
+			}
+			return nil
+		}
+		prior = &engine.Prior{Patterns: run.Patterns, MinCount: m, Label: fmt.Sprintf("round-%d", i+1)}
+	}
+	return nil
 }
 
 // mine dispatches to the selected algorithm through the engine registry.

@@ -19,10 +19,18 @@
 //	curl localhost:8080/jobs/j1           # poll
 //	curl -X DELETE localhost:8080/jobs/j1 # cancel mid-recursion
 //
+// Mining responses flow through the materialized threshold lattice (disable
+// with -lattice=false, budget with -cache-budget-mb, snap installs to a grid
+// with -lattice-rungs): repeated or tightened thresholds are answered by
+// pure filtering, relaxed ones seed recycling from the nearest rung.
+// Inspect or drop a database's ladder with GET/DELETE /db/{id}/lattice.
+//
 // GET /metrics reports mine counts, latencies, the fresh/filtered/recycled
-// source mix, and queue gauges as JSON. With -pprof the Go profiling
-// endpoints are mounted under /debug/pprof/. On SIGINT/SIGTERM the server
-// stops accepting work, drains running jobs, and exits.
+// source mix, lattice cache counters (cache_hit, cache_miss, cache_install,
+// cache_evict) and rung/byte gauges, and queue gauges as JSON. With -pprof
+// the Go profiling endpoints are mounted under /debug/pprof/. On
+// SIGINT/SIGTERM the server stops accepting work, drains running jobs, and
+// exits.
 package main
 
 import (
@@ -34,6 +42,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,17 +58,27 @@ func main() {
 		workers     = flag.Int("workers", 0, "async mining workers (0 = NumCPU)")
 		mineWorkers = flag.Int("mine-workers", 0, "worker pool per mining run (0 = serial, -1 = GOMAXPROCS)")
 		queue       = flag.Int("queue", 64, "async job queue depth")
+		latticeOn   = flag.Bool("lattice", true, "serve repeated thresholds from the materialized threshold lattice")
+		cacheMB     = flag.Int64("cache-budget-mb", 0, "lattice cache budget in MiB (0 = default 64)")
+		rungs       = flag.String("lattice-rungs", "", "comma-separated relative thresholds to snap lattice installs to (e.g. 0.5,0.2,0.1)")
 		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 	)
 	flag.Parse()
 
+	grid, err := parseRungs(*rungs)
+	if err != nil {
+		log.Fatalf("rpserved: %v", err)
+	}
 	srv := server.New(
 		server.WithMaxBodyBytes(*maxBody<<20),
 		server.WithMineTimeout(*mineTimeout),
 		server.WithWorkers(*workers),
 		server.WithMineWorkers(*mineWorkers),
 		server.WithQueueDepth(*queue),
+		server.WithLattice(*latticeOn),
+		server.WithLatticeRungs(grid),
+		server.WithCacheBudget(*cacheMB<<20),
 	)
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
@@ -99,6 +119,22 @@ func main() {
 	if err := srv.Shutdown(dctx); err != nil {
 		log.Printf("rpserved: job drain: %v", err)
 	}
+}
+
+// parseRungs parses the -lattice-rungs grid of relative thresholds.
+func parseRungs(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 || v >= 1 {
+			return nil, fmt.Errorf("bad -lattice-rungs entry %q (want fractions in (0,1))", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // logRequests is a minimal access log.

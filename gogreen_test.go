@@ -6,9 +6,11 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"testing"
 
 	"gogreen/internal/engine"
+	"gogreen/internal/server"
 	"gogreen/internal/testutil"
 )
 
@@ -201,6 +203,53 @@ func TestReadmeAlgorithmTable(t *testing.T) {
 	}
 	for name := range rows {
 		t.Errorf("README lists %q, which the registry does not register", name)
+	}
+}
+
+// TestReadmeRouteTable keeps the README's endpoint table in lockstep with
+// the routes the server actually registers on its mux: every registered
+// "METHOD /pattern" appears verbatim exactly once in the table, and the
+// table carries no route the server does not serve.
+func TestReadmeRouteTable(t *testing.T) {
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	section := string(data)
+	start := strings.Index(section, "Endpoints:")
+	if start < 0 {
+		t.Fatal("README has no \"Endpoints:\" section")
+	}
+	section = section[start:]
+	if end := strings.Index(section, "\n## "); end >= 0 {
+		section = section[:end]
+	}
+
+	re := regexp.MustCompile("`((?:GET|PUT|POST|DELETE) /[^`]*)`")
+	documented := map[string]bool{}
+	for _, m := range re.FindAllStringSubmatch(section, -1) {
+		// "POST /db/{id}/mine?async=1"-style variants document the same route.
+		pattern := m[1]
+		if q := strings.Index(pattern, "?"); q >= 0 {
+			pattern = pattern[:q]
+		}
+		if documented[pattern] {
+			t.Errorf("README endpoint table lists %q twice", pattern)
+		}
+		documented[pattern] = true
+	}
+
+	srv := server.New()
+	defer srv.Shutdown(context.Background())
+	for _, r := range srv.Routes() {
+		if !documented[r] {
+			t.Errorf("served route %q missing from the README endpoint table", r)
+			continue
+		}
+		delete(documented, r)
+	}
+	for pattern := range documented {
+		t.Errorf("README endpoint table lists %q, which the server does not serve", pattern)
 	}
 }
 

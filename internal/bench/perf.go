@@ -28,7 +28,11 @@ type PerfEntry struct {
 	// Variant identifies the code path, e.g. "scan", "indexed",
 	// "parallel-4w", "hmine", "rp-hmine".
 	Variant string `json:"variant"`
-	Workers int    `json:"workers,omitempty"`
+	// GOMAXPROCS records the procs setting the entry was measured at —
+	// baseline files merge entries from a whole procs grid, so speedup
+	// claims are only comparable within one gomaxprocs value.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	Workers    int `json:"workers,omitempty"`
 	// Patterns is the recycled pattern count of compression workloads.
 	Patterns    int     `json:"patterns,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -40,16 +44,42 @@ type PerfEntry struct {
 	// SpeedupVsSerial is serial-baseline ns_per_op divided by this entry's
 	// ns_per_op; the baseline row itself reports 1.
 	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+	// CacheHits / CacheMiss count lattice events in the measured window
+	// (lattice experiment only).
+	CacheHits int64 `json:"cache_hits,omitempty"`
+	CacheMiss int64 `json:"cache_misses,omitempty"`
+	// MinePhases counts mining-phase invocations in the measured window
+	// (lattice experiment only). A pointer so the steady-state lattice row
+	// can record the explicit zero that proves pure-filter serving.
+	MinePhases *int64 `json:"mine_phase_invocations,omitempty"`
 }
 
 // PerfReport is the schema of a BENCH_*.json file.
 type PerfReport struct {
-	Experiment string      `json:"experiment"`
-	Scale      float64     `json:"scale"`
-	Quick      bool        `json:"quick"`
-	GoVersion  string      `json:"go_version"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	Entries    []PerfEntry `json:"entries"`
+	Experiment string  `json:"experiment"`
+	Scale      float64 `json:"scale"`
+	Quick      bool    `json:"quick"`
+	GoVersion  string  `json:"go_version"`
+	// GOMAXPROCS is the procs setting of the run that produced the report;
+	// when rpbench merges a whole grid into one file it is the grid maximum
+	// and ProcsGrid lists every point (each entry carries its own value).
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	ProcsGrid  []int `json:"procs_grid,omitempty"`
+	// NumCPU is the machine's real core count — the honesty marker behind
+	// rpbench's -allow-serial gate: parallel speedups measured with
+	// NumCPU=1 are scheduling artifacts, not parallelism.
+	NumCPU  int         `json:"num_cpu,omitempty"`
+	Entries []PerfEntry `json:"entries"`
+}
+
+// Merge appends o's entries onto r, widening the procs metadata. Used by
+// rpbench to fold a GOMAXPROCS grid of runs into one baseline file.
+func (r *PerfReport) Merge(o PerfReport) {
+	if o.GOMAXPROCS > r.GOMAXPROCS {
+		r.GOMAXPROCS = o.GOMAXPROCS
+	}
+	r.ProcsGrid = append(r.ProcsGrid, o.GOMAXPROCS)
+	r.Entries = append(r.Entries, o.Entries...)
 }
 
 // JSON renders the report indented, ending in a newline.
@@ -340,6 +370,7 @@ func PipelinePerf(cfg Config, quick bool) (PerfReport, error) {
 					Experiment: "pipeline",
 					Dataset:    spec.Name,
 					Variant:    fmt.Sprintf("%s/%s", algo, ph),
+					GOMAXPROCS: runtime.GOMAXPROCS(0),
 					NsPerOp:    float64(dur.Nanoseconds()),
 					Patterns:   len(fp),
 				}
@@ -358,6 +389,7 @@ func PipelinePerf(cfg Config, quick bool) (PerfReport, error) {
 				Experiment:       "pipeline",
 				Dataset:          spec.Name,
 				Variant:          run.Algo + "/total",
+				GOMAXPROCS:       runtime.GOMAXPROCS(0),
 				NsPerOp:          float64(run.Elapsed.Nanoseconds()),
 				Patterns:         len(fp),
 				CompressionRatio: run.CompressStats.Ratio,
@@ -420,6 +452,7 @@ func entryOf(r testing.BenchmarkResult, experiment, ds, variant string) PerfEntr
 		Experiment:  experiment,
 		Dataset:     ds,
 		Variant:     variant,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),

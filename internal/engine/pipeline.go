@@ -8,6 +8,7 @@ import (
 
 	"gogreen/internal/core"
 	"gogreen/internal/dataset"
+	"gogreen/internal/lattice"
 	"gogreen/internal/mining"
 )
 
@@ -139,8 +140,17 @@ type Pipeline struct {
 	// one exists; algorithms without one (apriori, rp-naive, ...) mine
 	// serially.
 	MineWorkers int
-	// Observer, when set, watches every phase of every run.
+	// Observer, when set, watches every phase of every run. An observer
+	// that also implements CacheObserver additionally receives the lattice
+	// events of Serve.
 	Observer PhaseObserver
+	// Cache, when set, is this database's threshold ladder in a lattice
+	// store; Serve consults and maintains it. Nil means Serve degrades to
+	// Execute.
+	Cache *lattice.Cache
+	// CacheRungs is the optional install grid of relative thresholds
+	// (CacheConfig.Rungs); Serve snaps install thresholds onto it.
+	CacheRungs []float64
 }
 
 // resolveFresh returns the descriptor a fresh run will use, after worker
@@ -352,5 +362,120 @@ func (p *Pipeline) Execute(ctx context.Context, db *dataset.DB, prior *Prior, mi
 		return Run{}, err
 	}
 	run.BasedOn = prior.Label
+	return run, nil
+}
+
+// latticeLabel names a rung for Result.BasedOn.
+func latticeLabel(minCount int) string { return fmt.Sprintf("lattice-%d", minCount) }
+
+// installCount snaps a requested threshold onto the CacheRungs install grid:
+// the largest grid count at or below minCount (i.e. the nearest equal-or-
+// relaxed grid threshold, whose pattern set is a superset of the answer), or
+// minCount itself when the grid is empty or entirely above it.
+func (p *Pipeline) installCount(db *dataset.DB, minCount int) int {
+	snapped := 0
+	for _, s := range p.CacheRungs {
+		if s <= 0 || s >= 1 {
+			continue
+		}
+		if c := mining.MinCount(db.Len(), s); c >= 1 && c <= minCount && c > snapped {
+			snapped = c
+		}
+	}
+	if snapped >= 1 {
+		return snapped
+	}
+	return minCount
+}
+
+// emitFiltered streams run.Patterns into sink and clears them, matching the
+// streaming contract of Mine/MineRecycling.
+func emitFiltered(run *Run, sink mining.Sink) {
+	if sink == nil {
+		return
+	}
+	for _, pat := range run.Patterns {
+		sink.Emit(pat.Items, pat.Support)
+	}
+	run.Patterns = nil
+}
+
+// Serve is the cache-aware entry point: Execute, but consulting and
+// maintaining the threshold lattice. With no Cache configured it is exactly
+// Execute. Otherwise the ladder decides the round:
+//
+//   - hit: a rung at ≤ minCount is pure-filtered down — no mining, and
+//     nothing new to install.
+//   - relax: the nearest rung above minCount seeds the recycling pipeline
+//     (unless the caller's prior is a strictly better seed).
+//   - miss: the empty ladder falls back to the prior-driven Execute
+//     decision tree.
+//
+// On the relax and miss paths the mined threshold snaps down onto the
+// CacheRungs grid, the complete result is installed as a new rung, and the
+// response is filtered back up to minCount. Run.Cache reports the outcome;
+// cache_* events go to a CacheObserver when the pipeline has one.
+func (p *Pipeline) Serve(ctx context.Context, db *dataset.DB, prior *Prior, minCount int, sink mining.Sink) (Run, error) {
+	if p.Cache == nil {
+		return p.Execute(ctx, db, prior, minCount, sink)
+	}
+	if minCount < 1 {
+		return Run{}, mining.ErrBadMinSupport
+	}
+	seed, rungMin, outcome := p.Cache.Best(minCount)
+	switch outcome {
+	case lattice.Hit:
+		p.observeCache(CacheHit, 1)
+		run := p.Filter(seed, minCount)
+		run.BasedOn = latticeLabel(rungMin)
+		run.Cache = string(outcome)
+		emitFiltered(&run, sink)
+		return run, nil
+	case lattice.Relax:
+		p.observeCache(CacheRelax, 1)
+		// The rung is the seed unless the caller's prior was mined at a
+		// lower (more informative) threshold.
+		if prior == nil || prior.MinCount < 1 || rungMin < prior.MinCount {
+			prior = &Prior{Patterns: seed, MinCount: rungMin, Label: latticeLabel(rungMin)}
+		}
+	default:
+		p.observeCache(CacheMiss, 1)
+	}
+
+	// Mining is required. Mine (or prior-filter) at the grid-snapped
+	// threshold, materialize that complete set as a rung, and answer at
+	// minCount.
+	installMin := p.installCount(db, minCount)
+	var run Run
+	var err error
+	switch {
+	case prior == nil || prior.MinCount < 1:
+		run, err = p.Mine(ctx, db, installMin, nil)
+	case prior.MinCount <= installMin:
+		run = p.Filter(prior.Patterns, installMin)
+		run.BasedOn = prior.Label
+	case prior.MinCount <= minCount:
+		// The prior tightens to the query but not to the grid rung: serve
+		// and install at the query threshold instead of mining.
+		installMin = minCount
+		run = p.Filter(prior.Patterns, minCount)
+		run.BasedOn = prior.Label
+	default:
+		run, err = p.MineRecycling(ctx, db, prior.Patterns, installMin, nil)
+		run.BasedOn = prior.Label
+	}
+	if err != nil {
+		return Run{}, err
+	}
+	if installed, evicted := p.Cache.Install(installMin, run.Patterns); installed {
+		p.observeCache(CacheInstall, 1)
+		p.observeCache(CacheEvict, evicted)
+	}
+	if installMin < minCount {
+		run.Patterns = core.FilterTightened(run.Patterns, minCount)
+	}
+	run.MinCount = minCount
+	run.Cache = string(outcome)
+	emitFiltered(&run, sink)
 	return run, nil
 }

@@ -22,6 +22,7 @@ import (
 	"gogreen/internal/core"
 	"gogreen/internal/dataset"
 	"gogreen/internal/engine"
+	"gogreen/internal/lattice"
 	"gogreen/internal/mining"
 )
 
@@ -34,7 +35,10 @@ type Result struct {
 	// Recycled reports whether the previous pattern set was used (false on
 	// the first mine, when there is nothing to recycle).
 	Recycled bool
-	Elapsed  time.Duration
+	// Cache classifies how the threshold lattice served the round ("hit",
+	// "relax" or "miss"); empty when the lattice is disabled.
+	Cache   string
+	Elapsed time.Duration
 }
 
 // Maintainer owns an evolving database and its last-mined pattern set. Not
@@ -42,8 +46,10 @@ type Result struct {
 type Maintainer struct {
 	tx      [][]dataset.Item
 	pipe    engine.Pipeline
+	cache   engine.CacheConfig
 	fp      []mining.Pattern
 	mined   bool
+	dirty   bool
 	lastMin int
 }
 
@@ -58,6 +64,25 @@ func WithStrategy(s core.Strategy) Option { return func(m *Maintainer) { m.pipe.
 // Refresh.
 func WithEngine(name string) Option { return func(m *Maintainer) { m.pipe.Recycled = name } }
 
+// WithLattice enables the materialized threshold lattice (off by default at
+// this surface). The ladder is keyed by the Maintainer itself — the database
+// evolves, so sharing rungs with other surfaces would serve stale answers —
+// and every Insert/Delete invalidates it; between updates, repeated or
+// tightened Refresh thresholds are answered by pure filtering.
+func WithLattice(on bool) Option { return func(m *Maintainer) { engine.WithLattice(on)(&m.cache) } }
+
+// WithLatticeRungs sets the lattice install grid of relative thresholds
+// (see engine.CacheConfig.Rungs). It does not itself enable the lattice.
+func WithLatticeRungs(rungs []float64) Option {
+	return func(m *Maintainer) { engine.WithLatticeRungs(rungs)(&m.cache) }
+}
+
+// WithCacheBudget caps the shared lattice store's resident bytes. It does
+// not itself enable the lattice.
+func WithCacheBudget(bytes int64) Option {
+	return func(m *Maintainer) { engine.WithCacheBudget(bytes)(&m.cache) }
+}
+
 // New starts a maintainer over a copy of db's tuples.
 func New(db *dataset.DB, opts ...Option) *Maintainer {
 	m := &Maintainer{pipe: engine.Pipeline{Recycled: "rp-naive"}}
@@ -66,6 +91,7 @@ func New(db *dataset.DB, opts ...Option) *Maintainer {
 	for _, o := range opts {
 		o(m)
 	}
+	m.cache.Attach(&m.pipe, m)
 	return m
 }
 
@@ -83,6 +109,19 @@ func (m *Maintainer) Patterns() ([]mining.Pattern, bool) { return m.fp, m.mined 
 func (m *Maintainer) Insert(tuples [][]dataset.Item) {
 	for _, t := range tuples {
 		m.tx = append(m.tx, dataset.Canonical(t))
+	}
+	if len(tuples) > 0 {
+		m.mutated()
+	}
+}
+
+// mutated records that the database changed: the last pattern set's supports
+// are now stale and every materialized rung is wrong, so the ladder is
+// dropped eagerly (reclaiming shared budget) rather than aged out.
+func (m *Maintainer) mutated() {
+	m.dirty = true
+	if m.pipe.Cache != nil {
+		m.pipe.Cache.Invalidate()
 	}
 }
 
@@ -109,6 +148,7 @@ func (m *Maintainer) Delete(indexes []int) error {
 		}
 	}
 	m.tx = out
+	m.mutated()
 	return nil
 }
 
@@ -124,21 +164,45 @@ func (m *Maintainer) Refresh(minCount int) (Result, error) {
 	var run engine.Run
 	var err error
 	recycled := m.mined && len(m.fp) > 0
-	if recycled {
-		// The database may have churned since fp was mined, so the old
-		// supports are stale: always recycle (compression uses only pattern
-		// containment), never the tighten-filter shortcut.
+	served := false
+	switch {
+	case m.pipe.Cache != nil && !m.dirty:
+		served = true
+		// Database unchanged since the ladder's rungs (and m.fp's supports)
+		// were computed: the cache-aware path may filter or relax-mine, with
+		// the last pattern set competing as the seed.
+		var prior *engine.Prior
+		if recycled {
+			prior = &engine.Prior{Patterns: m.fp, MinCount: m.lastMin, Label: "previous"}
+		}
+		run, err = m.pipe.Serve(context.Background(), db, prior, minCount, nil)
+	case recycled:
+		// The database churned since fp was mined, so the old supports are
+		// stale: always recycle (compression uses only pattern containment),
+		// never the tighten-filter shortcut.
 		run, err = m.pipe.MineRecycling(context.Background(), db, m.fp, minCount, nil)
-	} else {
+	default:
 		run, err = m.pipe.Mine(context.Background(), db, minCount, nil)
 	}
 	if err != nil {
 		return Result{}, err
 	}
+	if m.pipe.Cache != nil && run.Cache == "" {
+		// Dirty-path mine over the freshly-invalidated ladder: the result is
+		// exact for the current database, so seed the ladder with it.
+		m.pipe.Cache.Install(minCount, run.Patterns)
+		run.Cache = string(lattice.Miss)
+	}
 	m.fp = run.Patterns
 	m.mined = true
+	m.dirty = false
 	m.lastMin = minCount
-	return Result{Patterns: run.Patterns, Recycled: recycled, Elapsed: time.Since(start)}, nil
+	if served {
+		// On the cache-aware path, "recycled" means any knowledge reuse:
+		// filtered from a rung or the previous set, or relax-mined.
+		recycled = run.Source != mining.SourceFresh
+	}
+	return Result{Patterns: run.Patterns, Recycled: recycled, Cache: run.Cache, Elapsed: time.Since(start)}, nil
 }
 
 // LastMinCount returns the threshold of the last Refresh (0 before any).

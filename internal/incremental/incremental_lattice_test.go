@@ -1,0 +1,110 @@
+package incremental_test
+
+import (
+	"testing"
+
+	"gogreen/internal/incremental"
+	"gogreen/internal/testutil"
+)
+
+// TestLatticeBetweenUpdates pins the maintainer's cache discipline: between
+// database updates, repeated or tightened Refresh thresholds are served by
+// pure filtering; any Insert/Delete drops the ladder so no stale rung can
+// ever answer, and the next refresh re-seeds it.
+func TestLatticeBetweenUpdates(t *testing.T) {
+	base := testutil.PaperDB()
+	m := incremental.New(base, incremental.WithLattice(true))
+
+	res, err := m.Refresh(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache != "miss" || res.Recycled {
+		t.Fatalf("first refresh = %+v, want cold miss", res)
+	}
+	if !toSet(t, res.Patterns).Equal(testutil.Oracle(t, m.DB(), 3)) {
+		t.Fatal("first refresh wrong")
+	}
+
+	// Same threshold, no updates: pure-filter hit.
+	res, err = m.Refresh(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache != "hit" || !res.Recycled {
+		t.Fatalf("repeat refresh = %+v, want lattice hit", res)
+	}
+	if !toSet(t, res.Patterns).Equal(testutil.Oracle(t, m.DB(), 3)) {
+		t.Fatal("repeat refresh wrong")
+	}
+
+	// Tighter threshold, still clean: hit again.
+	res, err = m.Refresh(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache != "hit" {
+		t.Fatalf("tightened refresh = %+v, want lattice hit", res)
+	}
+	if !toSet(t, res.Patterns).Equal(testutil.Oracle(t, m.DB(), 4)) {
+		t.Fatal("tightened refresh wrong")
+	}
+
+	// An update invalidates the ladder; the next refresh recycles the stale
+	// set (containment only) and must match the oracle on the new database.
+	m.Insert(testutil.PaperDB().All())
+	res, err = m.Refresh(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache != "miss" || !res.Recycled {
+		t.Fatalf("post-insert refresh = %+v, want recycled miss", res)
+	}
+	if !toSet(t, res.Patterns).Equal(testutil.Oracle(t, m.DB(), 3)) {
+		t.Fatal("post-insert refresh wrong")
+	}
+
+	// The dirty-path mine re-seeded the ladder: clean repeat hits again.
+	res, err = m.Refresh(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache != "hit" {
+		t.Fatalf("post-insert repeat = %+v, want lattice hit", res)
+	}
+
+	// Deletes invalidate too.
+	if err := m.Delete([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = m.Refresh(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache != "miss" {
+		t.Fatalf("post-delete refresh = %+v, want miss", res)
+	}
+	if !toSet(t, res.Patterns).Equal(testutil.Oracle(t, m.DB(), 3)) {
+		t.Fatal("post-delete refresh wrong")
+	}
+}
+
+// TestLatticeOffByDefault: without WithLattice the maintainer behaves as
+// before and reports no cache outcome.
+func TestLatticeOffByDefault(t *testing.T) {
+	m := incremental.New(testutil.PaperDB())
+	res, err := m.Refresh(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache != "" {
+		t.Fatalf("lattice-off refresh reports cache %q", res.Cache)
+	}
+	res, err = m.Refresh(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache != "" || !res.Recycled {
+		t.Fatalf("lattice-off repeat = %+v, want recycled with no cache", res)
+	}
+}

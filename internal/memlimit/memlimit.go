@@ -60,6 +60,18 @@ func EstimateTxBytes(tx [][]dataset.Item) int64 {
 	return items*bytesPerItem + int64(len(tx))*tupleOverhead
 }
 
+// EstimatePatternBytes models the in-memory footprint of a materialized
+// frequent-pattern set (item slices plus per-pattern bookkeeping) with the
+// same cost model as the database estimators, so the lattice cache's byte
+// budget and the mining budget are denominated identically.
+func EstimatePatternBytes(fp []mining.Pattern) int64 {
+	var items int64
+	for i := range fp {
+		items += int64(len(fp[i].Items))
+	}
+	return items*bytesPerItem + int64(len(fp))*tupleOverhead
+}
+
 // EstimateCDBBytes models the in-memory footprint of an encoded compressed
 // database (RP-Struct arena, spans, and per-block bookkeeping).
 func EstimateCDBBytes(blocks []core.Block, loose [][]dataset.Item) int64 {

@@ -28,6 +28,11 @@ type Result struct {
 	BasedOn string
 	// MinCount is the absolute support threshold the round ran at.
 	MinCount int
+	// Cache classifies how the threshold lattice served the round: "hit"
+	// (pure filter from a resident rung, no mining), "relax" (relax-mined
+	// with a rung as the recycling seed) or "miss" (no usable rung). Empty
+	// when the round ran without a lattice.
+	Cache string
 	// Elapsed is the round's wall-clock mining time.
 	Elapsed time.Duration
 }

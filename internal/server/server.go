@@ -27,18 +27,27 @@
 //     recycled source mix, compression ratios, queue depth and in-flight
 //     requests.
 //
-//     PUT    /db/{id}                 upload basket data (numeric ids)
-//     GET    /db                      list databases
-//     GET    /db/{id}                 database stats
-//     DELETE /db/{id}                 drop a database
-//     POST   /db/{id}/mine            run one mining round (see MineRequest);
-//     ?async=1 enqueues a job instead
-//     GET    /db/{id}/patterns        list saved pattern sets
-//     GET    /db/{id}/patterns/{name} fetch one saved set
-//     GET    /jobs                    list async jobs
-//     GET    /jobs/{id}               poll one job
-//     DELETE /jobs/{id}               cancel one job
-//     GET    /metrics                 metrics snapshot (JSON)
+// Mining requests are served through the materialized threshold lattice
+// (internal/lattice, on by default, see WithLattice): every mined result is
+// installed as a rung of the database's threshold ladder, and later requests
+// at any threshold are answered by pure-filtering the nearest rung below or
+// relax-mining from the nearest rung above, under one LRU byte budget across
+// all databases. The lattice is inspectable and invalidatable over HTTP.
+//
+//	PUT    /db/{id}                 upload basket data (numeric ids)
+//	GET    /db                      list databases
+//	GET    /db/{id}                 database stats
+//	DELETE /db/{id}                 drop a database
+//	POST   /db/{id}/mine            run one mining round (see MineRequest);
+//	?async=1 enqueues a job instead
+//	GET    /db/{id}/patterns        list saved pattern sets
+//	GET    /db/{id}/patterns/{name} fetch one saved set
+//	GET    /db/{id}/lattice         cached threshold ladder (rungs, hits)
+//	DELETE /db/{id}/lattice         invalidate the cached ladder
+//	GET    /jobs                    list async jobs
+//	GET    /jobs/{id}               poll one job
+//	DELETE /jobs/{id}               cancel one job
+//	GET    /metrics                 metrics snapshot (JSON)
 package server
 
 import (
@@ -56,6 +65,7 @@ import (
 	"gogreen/internal/dataset"
 	"gogreen/internal/engine"
 	"gogreen/internal/jobs"
+	"gogreen/internal/lattice"
 	"gogreen/internal/metrics"
 	"gogreen/internal/mining"
 )
@@ -73,6 +83,13 @@ type Server struct {
 
 	compressWorkers int
 	mineWorkers     int
+
+	// cache configures the threshold lattice (enabled by default); store is
+	// the server's lattice store, nil when the lattice is disabled. Ladders
+	// are keyed by *dataset.DB identity, so replacing a database can never
+	// serve stale rungs even while a mine of the old content is in flight.
+	cache engine.CacheConfig
+	store *lattice.Store
 
 	// pipe is the engine pipeline every mining run goes through; its
 	// observer is the metrics bundle.
@@ -158,6 +175,25 @@ func WithMineWorkers(n int) Option { return func(s *Server) { s.mineWorkers = n 
 // WithRegistry uses an external metrics registry (default: a fresh one).
 func WithRegistry(reg *metrics.Registry) Option { return func(s *Server) { s.reg = reg } }
 
+// WithLattice enables or disables the materialized threshold lattice
+// (default: enabled — this surface exists for the many-users-shared-data
+// scenario the lattice was built for). Disabled, every request falls back
+// to the saved-set tighten-vs-relax decision alone.
+func WithLattice(on bool) Option { return func(s *Server) { engine.WithLattice(on)(&s.cache) } }
+
+// WithLatticeRungs sets the lattice install grid as relative support
+// thresholds: a mine at ξ materializes its rung at the largest grid value
+// ≤ ξ and filters down, so nearby thresholds share one rung.
+func WithLatticeRungs(rungs []float64) Option {
+	return func(s *Server) { engine.WithLatticeRungs(rungs)(&s.cache) }
+}
+
+// WithCacheBudget caps the lattice store's resident bytes across all
+// databases (default 64 MiB), metered with memlimit's cost model.
+func WithCacheBudget(bytes int64) Option {
+	return func(s *Server) { engine.WithCacheBudget(bytes)(&s.cache) }
+}
+
 // New returns an empty server.
 func New(opts ...Option) *Server {
 	s := &Server{
@@ -166,6 +202,7 @@ func New(opts ...Option) *Server {
 		workers:         runtime.NumCPU(),
 		queueCap:        64,
 		compressWorkers: runtime.GOMAXPROCS(0),
+		cache:           engine.CacheConfig{Enabled: true},
 	}
 	for _, o := range opts {
 		o(s)
@@ -177,10 +214,16 @@ func New(opts ...Option) *Server {
 	s.met = newServerMetrics(s.reg, s.jobs)
 	s.met.compressWorkers.Set(int64(s.compressWorkers))
 	s.met.mineWorkers.Set(int64(effectiveMineWorkers(s.mineWorkers)))
+	s.store = s.cache.NewStore()
+	if s.store != nil {
+		s.reg.GaugeFunc("lattice_rungs", func() int64 { return int64(s.store.Rungs()) })
+		s.reg.GaugeFunc("lattice_bytes", s.store.Bytes)
+	}
 	s.pipe = engine.Pipeline{
 		CompressWorkers: s.compressWorkers,
 		MineWorkers:     s.mineWorkers,
 		Observer:        s.met,
+		CacheRungs:      s.cache.Rungs,
 	}
 	return s
 }
@@ -204,20 +247,50 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 // worker pool. The HTTP listener is the caller's to stop.
 func (s *Server) Shutdown(ctx context.Context) error { return s.jobs.Shutdown(ctx) }
 
+// route is one registered endpoint. The table drives both Handler and
+// Routes, so the documented surface cannot drift from the served one.
+type route struct {
+	pattern string
+	handler http.HandlerFunc
+}
+
+// routes is the complete endpoint table in documentation order.
+func (s *Server) routes() []route {
+	return []route{
+		{"GET /db", s.handleList},
+		{"PUT /db/{id}", s.handlePut},
+		{"GET /db/{id}", s.handleStats},
+		{"DELETE /db/{id}", s.handleDelete},
+		{"POST /db/{id}/mine", s.handleMine},
+		{"GET /db/{id}/patterns", s.handlePatternList},
+		{"GET /db/{id}/patterns/{name}", s.handlePatternGet},
+		{"GET /db/{id}/lattice", s.handleLatticeGet},
+		{"DELETE /db/{id}/lattice", s.handleLatticeDelete},
+		{"GET /jobs", s.handleJobList},
+		{"GET /jobs/{id}", s.handleJobGet},
+		{"DELETE /jobs/{id}", s.handleJobCancel},
+		{"GET /metrics", s.reg.Handler().ServeHTTP},
+	}
+}
+
+// Routes lists every registered "METHOD /pattern" in registration order.
+// README's endpoint table must match it verbatim — a drift test enforces
+// this, like the algorithm table's.
+func (s *Server) Routes() []string {
+	rs := s.routes()
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.pattern
+	}
+	return out
+}
+
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /db", s.handleList)
-	mux.HandleFunc("PUT /db/{id}", s.handlePut)
-	mux.HandleFunc("GET /db/{id}", s.handleStats)
-	mux.HandleFunc("DELETE /db/{id}", s.handleDelete)
-	mux.HandleFunc("POST /db/{id}/mine", s.handleMine)
-	mux.HandleFunc("GET /db/{id}/patterns", s.handlePatternList)
-	mux.HandleFunc("GET /db/{id}/patterns/{name}", s.handlePatternGet)
-	mux.HandleFunc("GET /jobs", s.handleJobList)
-	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
-	mux.Handle("GET /metrics", s.reg.Handler())
+	for _, r := range s.routes() {
+		mux.HandleFunc(r.pattern, r.handler)
+	}
 	return mux
 }
 
@@ -292,6 +365,15 @@ func (m *serverMetrics) OnPhaseEnd(phase engine.Phase, algo string, elapsed time
 	}
 }
 
+// OnCacheEvent implements engine.CacheObserver: every lattice event counts
+// under its own name (cache_hit, cache_relax, cache_miss, cache_install,
+// cache_evict; the evict counter advances by the number of rungs evicted).
+func (m *serverMetrics) OnCacheEvent(event engine.CacheEvent, n int) {
+	if n > 0 {
+		m.reg.Counter(string(event)).Add(int64(n))
+	}
+}
+
 // DBInfo describes one database in list/stats responses.
 type DBInfo struct {
 	ID       string  `json:"id"`
@@ -327,12 +409,16 @@ type MinePattern struct {
 // MineResponse is the result of one mining round — the wire projection of
 // mining.Result, shared with the session layer's Result.
 type MineResponse struct {
-	Count     int           `json:"count"`
-	MinCount  int           `json:"min_count"`
-	Source    mining.Source `json:"source"` // fresh | filtered | recycled
-	BasedOn   string        `json:"based_on,omitempty"`
-	ElapsedMS float64       `json:"elapsed_ms"`
-	SavedAs   string        `json:"saved_as,omitempty"`
+	Count    int           `json:"count"`
+	MinCount int           `json:"min_count"`
+	Source   mining.Source `json:"source"` // fresh | filtered | recycled
+	BasedOn  string        `json:"based_on,omitempty"`
+	// Cache reports how the threshold lattice served the round: "hit"
+	// (pure filter of a rung), "relax" (rung-seeded recycling) or "miss".
+	// Omitted only when the lattice is disabled.
+	Cache     string  `json:"cache,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	SavedAs   string  `json:"saved_as,omitempty"`
 	// SaveSkipped is set when save_as was requested but the database was
 	// replaced while mining ran, so the stale result was not saved.
 	SaveSkipped bool          `json:"save_skipped,omitempty"`
@@ -413,10 +499,16 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	e.mu.Lock()
+	old := e.db
 	e.db, e.stats = db, db.Stats()
 	e.sets = map[string]*savedSet{}
 	e.version++
 	e.mu.Unlock()
+	// The replaced database's ladder is unreachable (identity-keyed); drop
+	// it now instead of waiting for LRU aging to reclaim the budget.
+	if s.store != nil && old != nil {
+		s.store.Invalidate(old)
+	}
 	status := http.StatusCreated
 	if existed {
 		status = http.StatusOK
@@ -437,12 +529,68 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	_, ok := s.dbs[id]
+	e, ok := s.dbs[id]
 	delete(s.dbs, id)
 	s.mu.Unlock()
 	if !ok {
 		fail(w, http.StatusNotFound, "no database %q", id)
 		return
+	}
+	if s.store != nil {
+		e.mu.Lock()
+		old := e.db
+		e.mu.Unlock()
+		s.store.Invalidate(old)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// LatticeInfo is the response of GET /db/{id}/lattice: the database's
+// cached threshold ladder plus the shared store's budget accounting.
+type LatticeInfo struct {
+	ID      string `json:"id"`
+	Enabled bool   `json:"enabled"`
+	// BudgetBytes and StoreBytes describe the store shared by all
+	// databases; Rungs lists only this database's ladder.
+	BudgetBytes int64              `json:"budget_bytes,omitempty"`
+	StoreBytes  int64              `json:"store_bytes,omitempty"`
+	Rungs       []lattice.RungInfo `json:"rungs"`
+}
+
+func (s *Server) handleLatticeGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.get(id)
+	if !ok {
+		fail(w, http.StatusNotFound, "no database %q", id)
+		return
+	}
+	info := LatticeInfo{ID: id, Rungs: []lattice.RungInfo{}}
+	if s.store != nil {
+		info.Enabled = true
+		info.BudgetBytes = s.store.Budget()
+		info.StoreBytes = s.store.Bytes()
+		e.mu.Lock()
+		db := e.db
+		e.mu.Unlock()
+		if rungs := s.store.Cache(db).Rungs(); len(rungs) > 0 {
+			info.Rungs = rungs
+		}
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleLatticeDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.get(id)
+	if !ok {
+		fail(w, http.StatusNotFound, "no database %q", id)
+		return
+	}
+	if s.store != nil {
+		e.mu.Lock()
+		db := e.db
+		e.mu.Unlock()
+		s.store.Invalidate(db)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -579,18 +727,36 @@ func (s *Server) mine(ctx context.Context, e *entry, req MineRequest, min int) (
 
 	s.met.inFlight.Add(1)
 	defer s.met.inFlight.Add(-1)
+	var cache *lattice.Cache
+	if s.store != nil {
+		cache = s.store.Cache(p.db)
+	}
+	pipe := s.pipe
 	var run engine.Run
 	switch {
-	case p.prior == nil:
-		run, err = s.pipe.Mine(ctx, p.db, min, nil)
+	case req.Use == "fresh":
+		// An explicit fresh mine bypasses every reuse path, lattice included.
+		run, err = pipe.Mine(ctx, p.db, min, nil)
 	case p.forceRecycle:
-		run, err = s.pipe.MineRecycling(ctx, p.db, p.prior.Patterns, min, nil)
+		run, err = pipe.MineRecycling(ctx, p.db, p.prior.Patterns, min, nil)
 		run.BasedOn = p.prior.Label
 	default:
-		run, err = s.pipe.Execute(ctx, p.db, p.prior, min, nil)
+		// The lattice serves the round; the best saved set rides along as
+		// the fallback seed for a cold ladder.
+		pipe.Cache = cache
+		run, err = pipe.Serve(ctx, p.db, p.prior, min, nil)
 	}
 	if err != nil {
 		return nil, s.mineFailed(err)
+	}
+	if cache != nil && run.Cache == "" {
+		// Bypass paths did not consult the ladder, but their complete result
+		// is still worth materializing for later requests.
+		if installed, evicted := cache.Install(min, run.Patterns); installed {
+			s.met.OnCacheEvent(engine.CacheInstall, 1)
+			s.met.OnCacheEvent(engine.CacheEvict, evicted)
+		}
+		run.Cache = string(lattice.Miss)
 	}
 	if run.CompressStats != nil {
 		s.met.ratio.Observe(run.CompressStats.Ratio)
@@ -604,6 +770,7 @@ func (s *Server) mine(ctx context.Context, e *entry, req MineRequest, min int) (
 		MinCount:  res.MinCount,
 		Source:    res.Source,
 		BasedOn:   res.BasedOn,
+		Cache:     res.Cache,
 		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
 	}
 

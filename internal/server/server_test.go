@@ -75,18 +75,19 @@ func TestUploadMineRecycleFlow(t *testing.T) {
 	}
 	var r1 server.MineResponse
 	json.Unmarshal(body, &r1)
-	if r1.Count != 11 || r1.Source != "fresh" || r1.SavedAs != "round1" {
+	if r1.Count != 11 || r1.Source != "fresh" || r1.SavedAs != "round1" || r1.Cache != "miss" {
 		t.Fatalf("round1 = %+v", r1)
 	}
 	if len(r1.Patterns) != 11 {
 		t.Fatalf("echoed %d patterns", len(r1.Patterns))
 	}
 
-	// Round 2 relaxed: must recycle round 1.
+	// Round 2 relaxed: the ladder only has rung 3, so this is a lattice
+	// relax-mine, seeded by the saved set (same threshold as the rung).
 	resp, body = do(t, "POST", ts.URL+"/db/paper/mine", `{"min_count":2}`)
 	var r2 server.MineResponse
 	json.Unmarshal(body, &r2)
-	if resp.StatusCode != http.StatusOK || r2.Source != "recycled" || r2.BasedOn != "round1" {
+	if resp.StatusCode != http.StatusOK || r2.Source != "recycled" || r2.BasedOn != "round1" || r2.Cache != "relax" {
 		t.Fatalf("round2 = %+v (%d)", r2, resp.StatusCode)
 	}
 	want := len(testutil.Oracle(t, testutil.PaperDB(), 2))
@@ -94,28 +95,29 @@ func TestUploadMineRecycleFlow(t *testing.T) {
 		t.Fatalf("round2 count = %d, want %d", r2.Count, want)
 	}
 
-	// Round 3 tightened: filtered from the saved set.
+	// Round 3 tightened: a pure-filter lattice hit from the nearest rung
+	// at or below (round 1's rung at 3).
 	resp, body = do(t, "POST", ts.URL+"/db/paper/mine", `{"min_count":4}`)
 	var r3 server.MineResponse
 	json.Unmarshal(body, &r3)
-	if r3.Source != "filtered" || r3.BasedOn != "round1" {
+	if r3.Source != "filtered" || r3.BasedOn != "lattice-3" || r3.Cache != "hit" {
 		t.Fatalf("round3 = %+v", r3)
 	}
 	if r3.Count != len(testutil.Oracle(t, testutil.PaperDB(), 4)) {
 		t.Fatalf("round3 count = %d", r3.Count)
 	}
 
-	// Explicit recycle source and fresh.
+	// Explicit recycle source and fresh both bypass the ladder.
 	resp, body = do(t, "POST", ts.URL+"/db/paper/mine", `{"min_count":1,"use":"round1"}`)
 	var r4 server.MineResponse
 	json.Unmarshal(body, &r4)
-	if r4.Source != "recycled" || r4.Count != len(testutil.Oracle(t, testutil.PaperDB(), 1)) {
+	if r4.Source != "recycled" || r4.Cache != "miss" || r4.Count != len(testutil.Oracle(t, testutil.PaperDB(), 1)) {
 		t.Fatalf("round4 = %+v", r4)
 	}
 	resp, body = do(t, "POST", ts.URL+"/db/paper/mine", `{"min_count":2,"use":"fresh"}`)
 	var r5 server.MineResponse
 	json.Unmarshal(body, &r5)
-	if r5.Source != "fresh" || r5.Count != want {
+	if r5.Source != "fresh" || r5.Cache != "miss" || r5.Count != want {
 		t.Fatalf("round5 = %+v", r5)
 	}
 }

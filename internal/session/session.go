@@ -22,6 +22,7 @@ import (
 	"gogreen/internal/core"
 	"gogreen/internal/dataset"
 	"gogreen/internal/engine"
+	"gogreen/internal/lattice"
 	"gogreen/internal/mining"
 )
 
@@ -61,6 +62,7 @@ type Round struct {
 type Session struct {
 	db     *dataset.DB
 	pipe   engine.Pipeline
+	cache  engine.CacheConfig
 	rounds []Round
 }
 
@@ -89,12 +91,32 @@ func WithCompressWorkers(n int) Option { return func(se *Session) { se.pipe.Comp
 // serial mining; algorithms without a par-* registry variant stay serial.
 func WithMineWorkers(n int) Option { return func(se *Session) { se.pipe.MineWorkers = n } }
 
+// WithLattice enables the materialized threshold lattice (off by default at
+// this surface): support-only rounds are answered from and installed into
+// the process-wide shared pattern cache keyed by the session's database, so
+// concurrent sessions over the same *dataset.DB share one ladder — the
+// paper's multi-user scenario without shipping pattern sets by hand.
+func WithLattice(on bool) Option { return func(se *Session) { engine.WithLattice(on)(&se.cache) } }
+
+// WithLatticeRungs sets the lattice install grid of relative thresholds
+// (see engine.CacheConfig.Rungs). It does not itself enable the lattice.
+func WithLatticeRungs(rungs []float64) Option {
+	return func(se *Session) { engine.WithLatticeRungs(rungs)(&se.cache) }
+}
+
+// WithCacheBudget caps the shared lattice store's resident bytes. It does
+// not itself enable the lattice.
+func WithCacheBudget(bytes int64) Option {
+	return func(se *Session) { engine.WithCacheBudget(bytes)(&se.cache) }
+}
+
 // New starts a session over db.
 func New(db *dataset.DB, opts ...Option) *Session {
 	s := &Session{db: db, pipe: engine.Pipeline{Recycled: "rp-naive"}}
 	for _, o := range opts {
 		o(s)
 	}
+	s.cache.Attach(&s.pipe, db)
 	return s
 }
 
@@ -127,13 +149,41 @@ func (s *Session) Mine(ctx context.Context, cs constraints.Set) (Result, error) 
 		return res, nil
 	}
 
-	// Recycle path: compress with the biggest previous pattern set.
+	// Lattice probe: a shared rung at or below the threshold is a complete
+	// superset of the answer, so filtering it with the whole constraint set
+	// is exact — a pure-filter hit even with no usable history round.
+	rungFP, rungMin, rungOut := s.peekLattice(min)
+	if rungOut == lattice.Hit {
+		rungFP, rungMin, _ = s.pipe.Cache.Best(min) // bump LRU + hit counter
+		patterns := constraints.FilterSet(rungFP, cs)
+		res := Result{
+			Result: mining.Result{Patterns: patterns, Source: SourceFiltered,
+				BasedOn: latticeLabel(rungMin), MinCount: min,
+				Cache: string(lattice.Hit), Elapsed: time.Since(start)},
+			Round: -1,
+		}
+		s.rounds = append(s.rounds, Round{Constraints: cs, Result: res})
+		return res, nil
+	}
+
+	// Recycle path: compress with the biggest previous pattern set; a
+	// lattice rung above the threshold competes as the seed.
+	seed, basedOn, round := []mining.Pattern(nil), "", -1
 	if i := s.recycleSource(); i >= 0 {
-		res, err := s.MineRecycling(ctx, cs, s.rounds[i].Result.Patterns)
+		seed, basedOn, round = s.rounds[i].Result.Patterns, roundLabel(i), i
+	}
+	if rungOut == lattice.Relax && len(rungFP) > len(seed) {
+		s.pipe.Cache.Best(min) // bump LRU + seed counter
+		seed, basedOn, round = rungFP, latticeLabel(rungMin), -1
+	}
+	if len(seed) > 0 {
+		res, err := s.MineRecycling(ctx, cs, seed)
 		if err != nil {
 			return Result{}, err
 		}
-		res.Round, res.BasedOn = i, roundLabel(i)
+		res.Round, res.BasedOn = round, basedOn
+		res.Cache = cacheOutcome(s.pipe.Cache, rungOut)
+		s.installRound(cs, min, res.Patterns)
 		s.rounds = append(s.rounds, Round{Constraints: cs, Result: res})
 		return res, nil
 	}
@@ -149,11 +199,49 @@ func (s *Session) Mine(ctx context.Context, cs constraints.Set) (Result, error) 
 	}
 	res := Result{
 		Result: mining.Result{Patterns: col.Patterns, Source: SourceFresh,
-			MinCount: min, Elapsed: time.Since(start)},
+			MinCount: min, Cache: cacheOutcome(s.pipe.Cache, rungOut),
+			Elapsed: time.Since(start)},
 		Round: -1,
 	}
+	s.installRound(cs, min, res.Patterns)
 	s.rounds = append(s.rounds, Round{Constraints: cs, Result: res})
 	return res, nil
+}
+
+// latticeLabel renders the BasedOn label for a served lattice rung.
+func latticeLabel(minCount int) string { return fmt.Sprintf("lattice-%d", minCount) }
+
+// peekLattice probes the session's ladder without touching LRU state; Miss
+// when the lattice is disabled.
+func (s *Session) peekLattice(min int) ([]mining.Pattern, int, lattice.Outcome) {
+	if s.pipe.Cache == nil {
+		return nil, 0, lattice.Miss
+	}
+	return s.pipe.Cache.Peek(min)
+}
+
+// cacheOutcome renders a Result.Cache value: empty without a lattice.
+func cacheOutcome(c *lattice.Cache, out lattice.Outcome) string {
+	if c == nil {
+		return ""
+	}
+	return string(out)
+}
+
+// installRound materializes a round's result as a lattice rung. Only
+// support-only constraint sets qualify: any other constraint makes the
+// result an incomplete frequent-pattern set, which must never be served as
+// a rung.
+func (s *Session) installRound(cs constraints.Set, min int, fp []mining.Pattern) {
+	if s.pipe.Cache == nil {
+		return
+	}
+	for _, c := range cs {
+		if _, ok := c.(constraints.MinSupport); !ok {
+			return
+		}
+	}
+	s.pipe.Cache.Install(min, fp)
 }
 
 // MineRecycling runs one round recycling an explicit pattern set — the

@@ -1,0 +1,131 @@
+package session_test
+
+import (
+	"context"
+	"testing"
+
+	"gogreen/internal/constraints"
+	"gogreen/internal/session"
+	"gogreen/internal/testutil"
+)
+
+// TestSessionLatticeSharing covers the multi-user scenario the lattice
+// exists for: sessions over the same database share one ladder through the
+// process-wide store, so a pattern set mined in one session answers another
+// session's rounds without re-mining — no pattern-store shipping required.
+func TestSessionLatticeSharing(t *testing.T) {
+	db := testutil.PaperDB()
+
+	a := session.New(db, session.WithLattice(true))
+	res, err := a.Mine(context.Background(), constraints.Set{constraints.MinSupport{Count: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != session.SourceFresh || res.Cache != "miss" {
+		t.Fatalf("cold round = %s/%q, want fresh/miss", res.Source, res.Cache)
+	}
+
+	// A brand-new session with no history tightens to 4: pure-filter hit on
+	// the rung session A installed.
+	b := session.New(db, session.WithLattice(true))
+	res, err = b.Mine(context.Background(), constraints.Set{constraints.MinSupport{Count: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != session.SourceFiltered || res.Cache != "hit" || res.BasedOn != "lattice-3" || res.Round != -1 {
+		t.Fatalf("tighten round = %+v, want filtered hit on lattice-3", res.Result)
+	}
+	if !toSet(t, res.Patterns).Equal(testutil.Oracle(t, db, 4)) {
+		t.Error("lattice hit patterns wrong")
+	}
+
+	// Another fresh session relaxes to 2: the rung seeds a recycled round
+	// and the answer lands as a new rung.
+	c := session.New(db, session.WithLattice(true))
+	res, err = c.Mine(context.Background(), constraints.Set{constraints.MinSupport{Count: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != session.SourceRecycled || res.Cache != "relax" || res.BasedOn != "lattice-3" {
+		t.Fatalf("relax round = %+v, want recycled relax seeded by lattice-3", res.Result)
+	}
+	if !toSet(t, res.Patterns).Equal(testutil.Oracle(t, db, 2)) {
+		t.Error("lattice relax patterns wrong")
+	}
+
+	// The relax round installed rung 2, so yet another session hits it.
+	d := session.New(db, session.WithLattice(true))
+	res, err = d.Mine(context.Background(), constraints.Set{constraints.MinSupport{Count: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache != "hit" || res.BasedOn != "lattice-2" {
+		t.Fatalf("repeat relax = %+v, want hit on lattice-2", res.Result)
+	}
+}
+
+// TestSessionLatticeConstrainedRounds pins the install policy: rounds with
+// non-support constraints are answered from the lattice (FilterSet applies
+// the full predicate, so filtering a complete rung is exact) but their
+// incomplete results must never be installed as rungs.
+func TestSessionLatticeConstrainedRounds(t *testing.T) {
+	db := testutil.PaperDB()
+
+	// A constrained fresh round must not materialize a rung.
+	a := session.New(db, session.WithLattice(true))
+	cs := constraints.Set{constraints.MinSupport{Count: 2}, constraints.MaxLength{N: 1}}
+	if _, err := a.Mine(context.Background(), cs); err != nil {
+		t.Fatal(err)
+	}
+	b := session.New(db, session.WithLattice(true))
+	res, err := b.Mine(context.Background(), constraints.Set{constraints.MinSupport{Count: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache != "miss" {
+		t.Fatalf("round after constrained mine = %q, want miss (constrained results must not install)", res.Cache)
+	}
+
+	// But a complete rung serves constrained rounds exactly.
+	c := session.New(db, session.WithLattice(true))
+	res, err = c.Mine(context.Background(), cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache != "hit" || res.BasedOn != "lattice-2" {
+		t.Fatalf("constrained round = %+v, want hit on lattice-2", res.Result)
+	}
+	want := toSet(t, res.Patterns)
+	for _, p := range testutil.Oracle(t, db, 2) {
+		if len(p.Items) <= 1 {
+			if _, ok := want[p.Key()]; !ok {
+				t.Fatalf("constrained hit missing %v", p.Items)
+			}
+			delete(want, p.Key())
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("constrained hit has extra patterns: %v", want)
+	}
+}
+
+// TestSessionLatticeDefaultOff checks the facade-style default: without
+// WithLattice the session never consults the cache and Cache stays empty.
+func TestSessionLatticeDefaultOff(t *testing.T) {
+	db := testutil.PaperDB()
+	s := session.New(db)
+	res, err := s.Mine(context.Background(), constraints.Set{constraints.MinSupport{Count: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache != "" {
+		t.Fatalf("lattice-off round reports cache %q", res.Cache)
+	}
+	res, err = s.Mine(context.Background(), constraints.Set{constraints.MinSupport{Count: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache != "" || res.BasedOn != "round-0" {
+		t.Fatalf("lattice-off repeat = %+v, want history filter", res.Result)
+	}
+}

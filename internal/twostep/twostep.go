@@ -22,6 +22,7 @@ package twostep
 
 import (
 	"context"
+	"fmt"
 	"sort"
 
 	"gogreen/internal/core"
@@ -42,6 +43,12 @@ type Options struct {
 	// for Mine, and between consecutive cascade steps for Progressive and
 	// TopK (default 4, minimum 2).
 	Factor int
+	// Cache configures the materialized threshold lattice (shared engine
+	// option struct; off by default). When enabled, cascade rounds are
+	// served from and installed into the process-wide ladder keyed by the
+	// database, so repeated two-step tasks over one database skip the rounds
+	// a previous task already materialized.
+	Cache engine.CacheConfig
 }
 
 func (o Options) factor() int {
@@ -52,14 +59,20 @@ func (o Options) factor() int {
 }
 
 // pipeline assembles the engine pipeline the strategies run through: fresh
-// H-Mine seeds, the configured engine mines the compressed cascade rounds.
-func (o Options) pipeline() engine.Pipeline {
+// H-Mine seeds, the configured engine mines the compressed cascade rounds,
+// and the optional lattice is attached keyed by db.
+func (o Options) pipeline(db *dataset.DB) engine.Pipeline {
 	name := o.Engine
 	if name == "" {
 		name = "rp-naive"
 	}
-	return engine.Pipeline{Recycled: name, Strategy: o.Strategy}
+	p := engine.Pipeline{Recycled: name, Strategy: o.Strategy}
+	o.Cache.Attach(&p, db)
+	return p
 }
+
+// seedLabel names a cascade round's seed set for Result.BasedOn.
+func seedLabel(minCount int) string { return fmt.Sprintf("seed-%d", minCount) }
 
 // Mine runs the literal two-step split: a cheap pass at an intermediate
 // threshold, then compression with those patterns and a full mine at
@@ -74,12 +87,13 @@ func Mine(db *dataset.DB, minCount int, opts Options, sink mining.Sink) error {
 		return mining.ErrBadMinSupport
 	}
 	mid := intermediate(minCount, db.Len(), opts.factor())
-	pipe := opts.pipeline()
-	seed, err := pipe.Mine(context.Background(), db, mid, nil)
+	pipe := opts.pipeline(db)
+	seed, err := pipe.Serve(context.Background(), db, nil, mid, nil)
 	if err != nil {
 		return err
 	}
-	_, err = pipe.MineRecycling(context.Background(), db, seed.Patterns, minCount, sink)
+	prior := &engine.Prior{Patterns: seed.Patterns, MinCount: mid, Label: seedLabel(mid)}
+	_, err = pipe.Serve(context.Background(), db, prior, minCount, sink)
 	return err
 }
 
@@ -104,28 +118,22 @@ func Progressive(db *dataset.DB, minCount int, opts Options, sink mining.Sink) e
 	}
 	f := opts.factor()
 	ladder := thresholdLadder(minCount, db.Len(), f)
-	pipe := opts.pipeline()
-	var fp []mining.Pattern
+	pipe := opts.pipeline(db)
+	var prior *engine.Prior
 	for i, t := range ladder {
 		last := i == len(ladder)-1
 		var dst mining.Sink
 		if last {
 			dst = sink
 		}
-		var run engine.Run
-		var err error
-		if fp == nil {
-			run, err = pipe.Mine(context.Background(), db, t, dst)
-		} else {
-			run, err = pipe.MineRecycling(context.Background(), db, fp, t, dst)
-		}
+		run, err := pipe.Serve(context.Background(), db, prior, t, dst)
 		if err != nil {
 			return err
 		}
 		if last {
 			return nil
 		}
-		fp = run.Patterns
+		prior = &engine.Prior{Patterns: run.Patterns, MinCount: t, Label: seedLabel(t)}
 	}
 	return nil
 }
@@ -143,16 +151,11 @@ func TopK(db *dataset.DB, k int, opts Options) ([]mining.Pattern, error) {
 	}
 	f := opts.factor()
 	threshold := db.Len()
-	pipe := opts.pipeline()
+	pipe := opts.pipeline(db)
+	var prior *engine.Prior
 	var fp []mining.Pattern
 	for {
-		var run engine.Run
-		var err error
-		if fp == nil {
-			run, err = pipe.Mine(context.Background(), db, threshold, nil)
-		} else {
-			run, err = pipe.MineRecycling(context.Background(), db, fp, threshold, nil)
-		}
+		run, err := pipe.Serve(context.Background(), db, prior, threshold, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -160,6 +163,7 @@ func TopK(db *dataset.DB, k int, opts Options) ([]mining.Pattern, error) {
 		if len(fp) >= k || threshold == 1 {
 			break
 		}
+		prior = &engine.Prior{Patterns: fp, MinCount: threshold, Label: seedLabel(threshold)}
 		threshold /= f
 		if threshold < 1 {
 			threshold = 1
