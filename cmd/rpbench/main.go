@@ -20,15 +20,26 @@
 // Every experiment runs once per point of a GOMAXPROCS grid (default
 // 1, 4 and NumCPU, deduplicated) and each entry embeds the gomaxprocs it
 // was measured at, so parallel speedup rows can never masquerade as
-// multi-core results again. On a machine without real parallelism
-// (NumCPU=1) writing baselines is refused unless -allow-serial states the
-// limitation explicitly.
+// multi-core results again. Grid points above the machine's core count are
+// clamped to NumCPU (oversubscribed GOMAXPROCS measures scheduler thrash,
+// not the code) unless -force-procs keeps them; either way the report's
+// warning field records what happened. On a machine without real
+// parallelism (NumCPU=1) writing baselines is refused unless -allow-serial
+// states the limitation explicitly.
+//
+// Two maintenance modes skip measurement entirely: -check validates a
+// recorded mine report against the bench.SpeedupFloor guardrail (every
+// par-* 1-worker row must hold ≥ 0.9x of its serial miner — the CI gate
+// that keeps wrapper dispatch overhead honest), and -diff compares two
+// recorded reports entry by entry (time ratio, allocs, bytes).
 //
 // Usage:
 //
 //	go run ./cmd/rpbench              # full grid, writes ./BENCH_*.json
 //	go run ./cmd/rpbench -quick       # CI smoke: smaller inputs, same files
 //	go run ./cmd/rpbench -scale 0.02 -out bench-out -procs 1,8
+//	go run ./cmd/rpbench -check bench-out/BENCH_mine.json
+//	go run ./cmd/rpbench -diff BENCH_mine.json bench-out/BENCH_mine.json
 package main
 
 import (
@@ -51,15 +62,50 @@ func main() {
 	procs := flag.String("procs", "", "comma-separated GOMAXPROCS grid (default \"1,4,max\"; \"max\" = NumCPU)")
 	allowSerial := flag.Bool("allow-serial", false,
 		"allow writing baselines on a single-core machine, where parallel speedups are scheduling artifacts")
+	forceProcs := flag.Bool("force-procs", false,
+		"keep procs grid points above NumCPU instead of clamping them (measures scheduler oversubscription)")
+	check := flag.String("check", "",
+		"validate the given BENCH_mine.json against the speedup guardrail and exit")
+	diffMode := flag.Bool("diff", false,
+		"compare two recorded reports: rpbench -diff old.json new.json")
 	flag.Parse()
+
+	if *check != "" {
+		runCheck(*check)
+		return
+	}
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-diff takes exactly two report files, got %d", flag.NArg()))
+		}
+		runDiff(flag.Arg(0), flag.Arg(1))
+		return
+	}
 
 	grid, err := procsGrid(*procs)
 	if err != nil {
 		fatal(err)
 	}
-	if (runtime.NumCPU() == 1 || grid[len(grid)-1] == 1) && !*allowSerial {
-		fatal(fmt.Errorf("refusing to write baselines: NumCPU=%d, procs grid %v has no real parallelism "+
-			"(speedup columns would be meaningless); pass -allow-serial to record anyway", runtime.NumCPU(), grid))
+	var warnings []string
+	if clamped := clampGrid(grid); clamped != nil {
+		if *forceProcs {
+			warnings = append(warnings, fmt.Sprintf(
+				"procs grid %v exceeds NumCPU=%d (kept by -force-procs); oversubscribed rows measure scheduler thrash",
+				grid, runtime.NumCPU()))
+		} else {
+			fmt.Printf("clamping procs grid %v to %v (NumCPU=%d; pass -force-procs to keep oversubscribed points)\n",
+				grid, clamped, runtime.NumCPU())
+			grid = clamped
+		}
+	}
+	if runtime.NumCPU() == 1 || grid[len(grid)-1] == 1 {
+		if !*allowSerial {
+			fatal(fmt.Errorf("refusing to write baselines: NumCPU=%d, procs grid %v has no real parallelism "+
+				"(speedup columns would be meaningless); pass -allow-serial to record anyway", runtime.NumCPU(), grid))
+		}
+		warnings = append(warnings, fmt.Sprintf(
+			"recorded with -allow-serial on NumCPU=%d: multi-worker speedups are scheduling artifacts, not parallelism",
+			runtime.NumCPU()))
 	}
 
 	cfg := bench.Config{Scale: *scale}
@@ -93,20 +139,92 @@ func main() {
 			}
 		}
 		merged.NumCPU = runtime.NumCPU()
+		merged.Warning = strings.Join(warnings, "; ")
 		path := filepath.Join(*out, exp.file)
 		if err := os.WriteFile(path, merged.JSON(), 0o644); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (procs grid %v)\n", path, merged.ProcsGrid)
+		if merged.Warning != "" {
+			fmt.Printf("  warning: %s\n", merged.Warning)
+		}
 		for _, e := range merged.Entries {
-			fmt.Printf("  p%-3d %-12s %-20s %12.0f ns/op  %8d allocs/op",
-				e.GOMAXPROCS, e.Dataset, e.Variant, e.NsPerOp, e.AllocsPerOp)
+			fmt.Printf("  p%-3d %-12s %-20s %12.0f ns/op  %8d allocs/op  %10d B/op",
+				e.GOMAXPROCS, e.Dataset, e.Variant, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
 			if e.SpeedupVsSerial > 0 {
 				fmt.Printf("  %5.2fx", e.SpeedupVsSerial)
 			}
 			fmt.Println()
 		}
 	}
+}
+
+// runCheck gates a recorded mine report on the speedup floor and exits
+// non-zero on any violation — the CI guardrail entry point.
+func runCheck(path string) {
+	rep, err := bench.LoadReport(path)
+	if err != nil {
+		fatal(err)
+	}
+	violations := bench.CheckReport(rep)
+	if len(violations) == 0 {
+		fmt.Printf("%s: all par-* 1-worker rows hold the %.2fx speedup floor\n", path, bench.SpeedupFloor)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d guardrail violation(s):\n", path, len(violations))
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "  "+v)
+	}
+	os.Exit(1)
+}
+
+// runDiff prints an entry-by-entry comparison of two recorded reports.
+func runDiff(oldPath, newPath string) {
+	old, err := bench.LoadReport(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := bench.LoadReport(newPath)
+	if err != nil {
+		fatal(err)
+	}
+	rows, onlyOld, onlyNew := bench.DiffReports(old, cur)
+	fmt.Printf("%-46s %22s %8s %24s %24s\n", "entry", "ns/op old→new", "ratio", "allocs/op old→new", "B/op old→new")
+	for _, r := range rows {
+		fmt.Printf("%-46s %10.0f→%-10.0f %7.2fx %11d→%-11d %11d→%-11d\n",
+			r.Key, r.OldNs, r.NewNs, r.NsRatio(), r.OldAllocs, r.NewAllocs, r.OldBytes, r.NewBytes)
+	}
+	for _, k := range onlyOld {
+		fmt.Printf("%-46s only in %s\n", k, oldPath)
+	}
+	for _, k := range onlyNew {
+		fmt.Printf("%-46s only in %s\n", k, newPath)
+	}
+}
+
+// clampGrid returns the grid with every point above NumCPU clamped down
+// (sorted, deduplicated), or nil when nothing exceeds the machine.
+func clampGrid(grid []int) []int {
+	n := runtime.NumCPU()
+	over := false
+	for _, g := range grid {
+		if g > n {
+			over = true
+		}
+	}
+	if !over {
+		return nil
+	}
+	out := make([]int, 0, len(grid))
+	for _, g := range grid {
+		if g > n {
+			g = n
+		}
+		if len(out) == 0 || g != out[len(out)-1] {
+			out = append(out, g)
+		}
+	}
+	return out
 }
 
 // procsGrid parses the -procs flag into a sorted, deduplicated GOMAXPROCS

@@ -1,0 +1,116 @@
+// Report guardrails: the machine-checkable acceptance criteria rpbench
+// enforces over recorded BENCH_*.json baselines (-check) and the
+// entry-by-entry comparison behind rpbench -diff. The floor lives here, in
+// code, so CI's gate and the docs can never quietly diverge.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// SpeedupFloor is the minimum speedup_vs_serial a par-* mine row measured
+// at Workers == 1 must reach: the single-worker parallel wrapper may cost
+// at most ~10% over its own serial miner. Per-worker scratch reuse and
+// batched emission exist to hold this floor; CI fails the build when a
+// change pushes dispatch overhead back above it.
+const SpeedupFloor = 0.9
+
+// LoadReport reads and decodes one BENCH_*.json file.
+func LoadReport(path string) (PerfReport, error) {
+	var rep PerfReport
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// CheckReport validates a mine report against the speedup guardrail and
+// returns one human-readable violation per failing entry (empty = pass).
+// Only mine-experiment par-* rows with Workers == 1 are gated: their
+// SpeedupVsSerial is a pure dispatch-overhead measurement against the same
+// miner's serial row at the same GOMAXPROCS, so it is meaningful on any
+// machine — including single-core runners, where multi-worker speedups are
+// scheduling artifacts. Rows without a recorded speedup are skipped.
+func CheckReport(rep PerfReport) []string {
+	var violations []string
+	checked := 0
+	for _, e := range rep.Entries {
+		if e.Experiment != "mine" || e.Workers != 1 ||
+			!strings.HasPrefix(e.Variant, "par-") || e.SpeedupVsSerial == 0 {
+			continue
+		}
+		checked++
+		if e.SpeedupVsSerial < SpeedupFloor {
+			violations = append(violations, fmt.Sprintf(
+				"%s (gomaxprocs=%d): speedup_vs_serial %.2fx < %.2fx floor (1-worker dispatch overhead)",
+				e.Variant, e.GOMAXPROCS, e.SpeedupVsSerial, SpeedupFloor))
+		}
+	}
+	if rep.Experiment == "mine" && checked == 0 {
+		violations = append(violations,
+			"no par-* 1-worker mine rows found; the guardrail checked nothing")
+	}
+	return violations
+}
+
+// DiffRow is one entry-level comparison between two reports.
+type DiffRow struct {
+	Key                  string // "experiment/dataset/variant@pN"
+	OldNs, NewNs         float64
+	OldAllocs, NewAllocs int64
+	OldBytes, NewBytes   int64
+}
+
+// NsRatio is new/old time (< 1 means the new report is faster).
+func (d DiffRow) NsRatio() float64 {
+	if d.OldNs == 0 {
+		return 0
+	}
+	return d.NewNs / d.OldNs
+}
+
+// DiffReports matches entries of two reports by (experiment, dataset,
+// variant, gomaxprocs) and returns the common rows in the new report's
+// order, plus keys present in only one side. Entries without alloc data
+// (phase rows) still diff on time.
+func DiffReports(old, cur PerfReport) (rows []DiffRow, onlyOld, onlyNew []string) {
+	key := func(e PerfEntry) string {
+		return fmt.Sprintf("%s/%s/%s@p%d", e.Experiment, e.Dataset, e.Variant, e.GOMAXPROCS)
+	}
+	oldBy := make(map[string]PerfEntry, len(old.Entries))
+	for _, e := range old.Entries {
+		oldBy[key(e)] = e
+	}
+	seen := make(map[string]bool, len(cur.Entries))
+	for _, e := range cur.Entries {
+		k := key(e)
+		seen[k] = true
+		o, ok := oldBy[k]
+		if !ok {
+			onlyNew = append(onlyNew, k)
+			continue
+		}
+		rows = append(rows, DiffRow{
+			Key:   k,
+			OldNs: o.NsPerOp, NewNs: e.NsPerOp,
+			OldAllocs: o.AllocsPerOp, NewAllocs: e.AllocsPerOp,
+			OldBytes: o.BytesPerOp, NewBytes: e.BytesPerOp,
+		})
+	}
+	for k := range oldBy {
+		if !seen[k] {
+			onlyOld = append(onlyOld, k)
+		}
+	}
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return rows, onlyOld, onlyNew
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// mineReport builds a synthetic mine report with the given 1-worker par-*
+// speedups plus the rows the checker must ignore (serial, multi-worker,
+// other experiments, entries without a recorded speedup).
+func mineReport(speedups map[string]float64) PerfReport {
+	rep := PerfReport{Experiment: "mine", GOMAXPROCS: 4}
+	rep.Entries = append(rep.Entries,
+		PerfEntry{Experiment: "mine", Dataset: "connect4", Variant: "rp-hmine", GOMAXPROCS: 4, NsPerOp: 100, SpeedupVsSerial: 2.5},
+		PerfEntry{Experiment: "mine", Dataset: "connect4", Variant: "par-rp-hmine-4w", GOMAXPROCS: 4, Workers: 4, NsPerOp: 400, SpeedupVsSerial: 0.25},
+		PerfEntry{Experiment: "compress", Dataset: "connect4", Variant: "par-ignored-1w", Workers: 1, NsPerOp: 100, SpeedupVsSerial: 0.1},
+		PerfEntry{Experiment: "mine", Dataset: "connect4", Variant: "par-no-speedup-1w", Workers: 1, NsPerOp: 100},
+	)
+	for v, s := range speedups {
+		rep.Entries = append(rep.Entries, PerfEntry{
+			Experiment: "mine", Dataset: "connect4", Variant: v,
+			GOMAXPROCS: 4, Workers: 1, NsPerOp: 100, SpeedupVsSerial: s,
+		})
+	}
+	return rep
+}
+
+// TestCheckReport pins the guardrail: only mine-experiment par-* rows at
+// Workers == 1 are gated against SpeedupFloor, and a mine report with no
+// such rows is itself a violation (an empty gate must not pass green).
+func TestCheckReport(t *testing.T) {
+	ok := mineReport(map[string]float64{
+		"par-rp-hmine-1w":    0.95,
+		"par-rp-fptree-1w":   SpeedupFloor,
+		"par-rp-treeproj-1w": 1.10,
+	})
+	if v := CheckReport(ok); len(v) != 0 {
+		t.Errorf("clean report flagged: %v", v)
+	}
+
+	bad := mineReport(map[string]float64{
+		"par-rp-hmine-1w":  0.95,
+		"par-rp-fptree-1w": 0.33,
+	})
+	v := CheckReport(bad)
+	if len(v) != 1 {
+		t.Fatalf("want exactly the rp-fptree violation, got %v", v)
+	}
+
+	empty := PerfReport{Experiment: "mine"}
+	if v := CheckReport(empty); len(v) != 1 {
+		t.Errorf("mine report with no gated rows must be a violation, got %v", v)
+	}
+	other := PerfReport{Experiment: "compress"}
+	if v := CheckReport(other); len(v) != 0 {
+		t.Errorf("non-mine report must not require gated rows: %v", v)
+	}
+}
+
+// TestLoadReportRoundTrip checks LoadReport reads back what PerfReport.JSON
+// wrote, including the warning field.
+func TestLoadReportRoundTrip(t *testing.T) {
+	rep := mineReport(map[string]float64{"par-rp-hmine-1w": 0.95})
+	rep.Warning = "recorded with -allow-serial on NumCPU=1"
+	path := filepath.Join(t.TempDir(), "BENCH_mine.json")
+	if err := os.WriteFile(path, rep.JSON(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Warning != rep.Warning || len(back.Entries) != len(rep.Entries) {
+		t.Fatalf("round trip mangled: %+v", back)
+	}
+	if _, err := LoadReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("LoadReport accepted a missing file")
+	}
+}
+
+// TestDiffReports pins the matching key (experiment, dataset, variant,
+// gomaxprocs) and the one-sided buckets.
+func TestDiffReports(t *testing.T) {
+	old := PerfReport{Entries: []PerfEntry{
+		{Experiment: "mine", Dataset: "connect4", Variant: "rp-hmine", GOMAXPROCS: 1, NsPerOp: 200, AllocsPerOp: 50, BytesPerOp: 4000},
+		{Experiment: "mine", Dataset: "connect4", Variant: "rp-hmine", GOMAXPROCS: 4, NsPerOp: 220, AllocsPerOp: 50, BytesPerOp: 4000},
+		{Experiment: "mine", Dataset: "connect4", Variant: "gone", GOMAXPROCS: 1, NsPerOp: 10},
+	}}
+	cur := PerfReport{Entries: []PerfEntry{
+		{Experiment: "mine", Dataset: "connect4", Variant: "rp-hmine", GOMAXPROCS: 1, NsPerOp: 100, AllocsPerOp: 5, BytesPerOp: 400},
+		{Experiment: "mine", Dataset: "connect4", Variant: "rp-hmine", GOMAXPROCS: 4, NsPerOp: 110, AllocsPerOp: 5, BytesPerOp: 400},
+		{Experiment: "mine", Dataset: "connect4", Variant: "added", GOMAXPROCS: 1, NsPerOp: 10},
+	}}
+	rows, onlyOld, onlyNew := DiffReports(old, cur)
+	if len(rows) != 2 {
+		t.Fatalf("want 2 matched rows, got %d", len(rows))
+	}
+	r := rows[0]
+	if r.Key != "mine/connect4/rp-hmine@p1" || r.NsRatio() != 0.5 || r.OldAllocs != 50 || r.NewAllocs != 5 {
+		t.Errorf("row 0 = %+v (ratio %v)", r, r.NsRatio())
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "mine/connect4/gone@p1" {
+		t.Errorf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "mine/connect4/added@p1" {
+		t.Errorf("onlyNew = %v", onlyNew)
+	}
+}

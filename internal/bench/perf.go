@@ -68,7 +68,13 @@ type PerfReport struct {
 	// NumCPU is the machine's real core count — the honesty marker behind
 	// rpbench's -allow-serial gate: parallel speedups measured with
 	// NumCPU=1 are scheduling artifacts, not parallelism.
-	NumCPU  int         `json:"num_cpu,omitempty"`
+	NumCPU int `json:"num_cpu,omitempty"`
+	// Warning flags measurement-validity caveats rpbench stamped on the
+	// run (e.g. the requested procs grid exceeded the machine's cores, or
+	// baselines were recorded on a single-core machine). A report with a
+	// warning is still structurally valid; its speedup columns are not
+	// evidence of parallelism.
+	Warning string      `json:"warning,omitempty"`
 	Entries []PerfEntry `json:"entries"`
 }
 

@@ -1,0 +1,92 @@
+package core_test
+
+import (
+	"testing"
+
+	"gogreen/internal/core"
+	"gogreen/internal/dataset"
+)
+
+// projFixture is a rank-space compressed database with every projection
+// shape: suffix hits, tail-only hits, blocks degrading to loose tuples,
+// and blocks vanishing entirely.
+func projFixture() (blocks []core.Block, loose [][]dataset.Item) {
+	blocks = []core.Block{
+		{Suffix: []dataset.Item{0, 1, 2}, Count: 3,
+			Tails: [][]dataset.Item{{3, 5}, {4}, {3, 4, 5}}},
+		{Suffix: []dataset.Item{1, 3}, Count: 2,
+			Tails: [][]dataset.Item{{4, 5}, {2, 4}}},
+		{Suffix: []dataset.Item{5}, Count: 2,
+			Tails: [][]dataset.Item{{0, 2}}},
+	}
+	loose = [][]dataset.Item{{0, 2, 4}, {1, 5}, {3}}
+	return blocks, loose
+}
+
+// TestProjScratchMatchesProject proves the pooled projection is a drop-in
+// for the allocating one: identical blocks, loose tuples, and ordering for
+// every projection item, including reuse of the same scratch across items.
+func TestProjScratchMatchesProject(t *testing.T) {
+	blocks, loose := projFixture()
+	var sc core.ProjScratch
+	for r := dataset.Item(0); r < 6; r++ {
+		wantB, wantL := core.Project(blocks, loose, r)
+		gotB, gotL := sc.Project(blocks, loose, r)
+		if len(gotB) != len(wantB) || len(gotL) != len(wantL) {
+			t.Fatalf("r=%d: %d blocks/%d loose, want %d/%d", r, len(gotB), len(gotL), len(wantB), len(wantL))
+		}
+		for i := range wantB {
+			if !blockEqual(gotB[i], wantB[i]) {
+				t.Errorf("r=%d block %d = %+v, want %+v", r, i, gotB[i], wantB[i])
+			}
+		}
+		for i := range wantL {
+			if !itemsEqual(gotL[i], wantL[i]) {
+				t.Errorf("r=%d loose %d = %v, want %v", r, i, gotL[i], wantL[i])
+			}
+		}
+	}
+}
+
+// TestProjScratchAllocs is the satellite regression gate on the pooled
+// projection path: once the scratch has warmed up over the projection
+// items, re-projecting allocates nothing at all.
+func TestProjScratchAllocs(t *testing.T) {
+	blocks, loose := projFixture()
+	var sc core.ProjScratch
+	for r := dataset.Item(0); r < 6; r++ {
+		sc.Project(blocks, loose, r)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for r := dataset.Item(0); r < 6; r++ {
+			sc.Project(blocks, loose, r)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("warmed ProjScratch.Project allocates %.1f per sweep, want 0", avg)
+	}
+}
+
+func blockEqual(a, b core.Block) bool {
+	if !itemsEqual(a.Suffix, b.Suffix) || a.Count != b.Count || len(a.Tails) != len(b.Tails) {
+		return false
+	}
+	for i := range a.Tails {
+		if !itemsEqual(a.Tails[i], b.Tails[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func itemsEqual(a, b []dataset.Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

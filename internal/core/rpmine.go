@@ -323,6 +323,82 @@ func Project(blocks []Block, loose [][]dataset.Item, r dataset.Item) ([]Block, [
 	return outBlocks, outLoose
 }
 
+// ProjScratch holds reusable storage for projection results, so hot loops
+// that project once per recursion node (or once per parallel task) stop
+// allocating on the steady path. A scratch's results are valid until its
+// next Project call: the caller owns the buffers and must be done with the
+// previous projection — including everything that aliases it — before
+// reusing the scratch. Item data is never copied; like Project, the
+// returned slices share backing arrays with the input.
+type ProjScratch struct {
+	blocks []Block
+	loose  [][]dataset.Item
+	tails  [][]dataset.Item
+}
+
+// Project is Project with the result built into the scratch's reusable
+// buffers: identical blocks, loose tuples, and ordering, near-zero
+// allocations once the buffers have warmed up.
+func (p *ProjScratch) Project(blocks []Block, loose [][]dataset.Item, r dataset.Item) ([]Block, [][]dataset.Item) {
+	p.blocks = p.blocks[:0]
+	p.loose = p.loose[:0]
+	p.tails = p.tails[:0]
+
+	for i := range blocks {
+		b := &blocks[i]
+		inSuffix := search(b.Suffix, r) >= 0
+		newSuffix := after(b.Suffix, r)
+
+		// Tails of this block accumulate in the shared slab; the block keeps
+		// a capped subslice. A slab regrow leaves earlier blocks pointing at
+		// the old backing array, which still holds their (final) tails.
+		tOff := len(p.tails)
+		newCount := 0
+		if inSuffix {
+			newCount = b.Count
+			for _, tail := range b.Tails {
+				if nt := after(tail, r); len(nt) > 0 {
+					p.tails = append(p.tails, nt)
+				}
+			}
+		} else {
+			for _, tail := range b.Tails {
+				if search(tail, r) < 0 {
+					continue
+				}
+				newCount++
+				if nt := after(tail, r); len(nt) > 0 {
+					p.tails = append(p.tails, nt)
+				}
+			}
+		}
+		if newCount == 0 {
+			p.tails = p.tails[:tOff]
+			continue
+		}
+		if len(newSuffix) == 0 {
+			p.loose = append(p.loose, p.tails[tOff:]...)
+			p.tails = p.tails[:tOff]
+			continue
+		}
+		var newTails [][]dataset.Item
+		if len(p.tails) > tOff {
+			newTails = p.tails[tOff:len(p.tails):len(p.tails)]
+		}
+		p.blocks = append(p.blocks, Block{Suffix: newSuffix, Count: newCount, Tails: newTails})
+	}
+
+	for _, t := range loose {
+		if search(t, r) < 0 {
+			continue
+		}
+		if nt := after(t, r); len(nt) > 0 {
+			p.loose = append(p.loose, nt)
+		}
+	}
+	return p.blocks, p.loose
+}
+
 // search returns the index of r in the sorted slice s, or -1.
 func search(s []dataset.Item, r dataset.Item) int {
 	lo, hi := 0, len(s)

@@ -76,6 +76,12 @@ type Descriptor struct {
 	// Encoded reports that a recycled engine implements the rank-encoded
 	// entry points (parallel.EncodedCDBMiner) the worker pool drives.
 	Encoded bool
+	// Pooled reports that the engine (or, for par-* variants, the wrapped
+	// serial engine) carries reusable working memory across calls
+	// (parallel.PooledEncodedMiner): the worker pool threads one scratch
+	// per worker through its tasks, so steady-state dispatch allocates
+	// (near) nothing.
+	Pooled bool
 
 	// Miner constructs the fresh miner (Kind == Fresh). The workers
 	// argument follows the parallel package's convention (0 = GOMAXPROCS)
@@ -115,6 +121,16 @@ func init() {
 			Engine: func(int) core.CDBMiner { return rptreeproj.New() }},
 	}
 
+	// Pooled is detected, not declared: an engine advertises scratch reuse
+	// by implementing parallel.PooledEncodedMiner, and the flag must never
+	// drift from what the worker pool actually sees.
+	for i := range serial {
+		if serial[i].Kind == Recycled && serial[i].Encoded {
+			_, pooled := serial[i].Engine(0).(parallel.PooledEncodedMiner)
+			serial[i].Pooled = pooled
+		}
+	}
+
 	var derived []Descriptor
 	for i := range serial {
 		if par, ok := derive(serial[i]); ok {
@@ -137,14 +153,14 @@ func derive(d Descriptor) (Descriptor, bool) {
 	switch {
 	case d.Kind == Fresh && d.Name == "hmine":
 		return Descriptor{
-			Name: "par-hmine", Kind: Fresh, Base: d.Name, Context: true,
+			Name: "par-hmine", Kind: Fresh, Base: d.Name, Context: true, Pooled: true,
 			Summary: "H-Mine on a worker pool, one top-level subtree per task",
 			Miner:   func(w int) mining.Miner { return parallel.Miner{Workers: w} },
 		}, true
 	case d.Kind == Recycled && d.Encoded:
 		serial := d.Engine
 		return Descriptor{
-			Name: "par-" + d.Name, Kind: Recycled, Base: d.Name, Context: true, Encoded: true,
+			Name: "par-" + d.Name, Kind: Recycled, Base: d.Name, Context: true, Encoded: true, Pooled: d.Pooled,
 			Summary: d.Name + " subtrees fanned out to a worker pool",
 			Engine:  func(w int) core.CDBMiner { return parallel.Wrap(serial(0), w) },
 		}, true

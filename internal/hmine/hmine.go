@@ -10,7 +10,7 @@ package hmine
 
 import (
 	"context"
-	"sort"
+	"slices"
 
 	"gogreen/internal/dataset"
 	"gogreen/internal/mining"
@@ -65,14 +65,14 @@ func mineDB(db *dataset.DB, minCount int, sink mining.Sink, cancel *mining.Cance
 	// works through suffix pointers.
 	hs := flist.EncodeDB(db)
 
-	return mineProjected(hs, flist, nil, minCount, sink, cancel)
+	return mineProjected(hs, flist, nil, minCount, sink, cancel, nil)
 }
 
 // MineProjected mines an already rank-encoded (projected) database whose
 // patterns all extend prefix (in rank space). Used by the memory-limited
 // driver to mine disk partitions with the H-Mine engine.
 func MineProjected(tx [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error {
-	return mineProjected(tx, flist, prefix, minCount, sink, nil)
+	return mineProjected(tx, flist, prefix, minCount, sink, nil, nil)
 }
 
 // MineProjectedContext is MineProjected with cooperative cancellation: the
@@ -84,27 +84,74 @@ func MineProjectedContext(c context.Context, tx [][]dataset.Item, flist *mining.
 	if err := cancel.Err(); err != nil {
 		return err
 	}
-	return mineProjected(tx, flist, prefix, minCount, sink, cancel)
+	return mineProjected(tx, flist, prefix, minCount, sink, cancel, nil)
 }
 
-func mineProjected(tx [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink, cancel *mining.Canceller) error {
+// Scratch is reusable H-Mine working memory: the level pool, decode buffer,
+// and suffix/prefix scratch a mine builds up. A parallel worker holds one
+// Scratch and threads it through consecutive MineProjectedScratch calls, so
+// steady-state task dispatch costs (near) zero allocations. A Scratch is
+// owned by one goroutine at a time and must not be shared concurrently.
+type Scratch struct {
+	m ctx
+}
+
+// NewScratch returns an empty Scratch ready for MineProjectedScratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// MineProjectedScratch is MineProjectedContext mining through sc's recycled
+// buffers. All calls reusing one Scratch must pass the same F-list width
+// (the pooled header tables are width-sized); a width change resets the
+// pool.
+func MineProjectedScratch(c context.Context, sc *Scratch, tx [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error {
+	cancel := mining.NewCanceller(c, 0)
+	if err := cancel.Err(); err != nil {
+		return err
+	}
+	return mineProjected(tx, flist, prefix, minCount, sink, cancel, sc)
+}
+
+func mineProjected(tx [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink, cancel *mining.Canceller, sc *Scratch) error {
 	if minCount < 1 {
 		return mining.ErrBadMinSupport
 	}
-	m := &ctx{
-		hs:      tx,
-		flist:   flist,
-		min:     minCount,
-		sink:    sink,
-		decoded: make([]dataset.Item, flist.Len()),
-		cancel:  cancel,
+	if sc == nil {
+		sc = &Scratch{}
 	}
-	all := make([]suffix, len(tx))
+	m := &sc.m
+	m.reset(flist, minCount, sink, cancel)
+	all := m.sufs[:0]
 	for i := range tx {
-		all[i] = suffix{tx: int32(i), pos: 0}
+		all = append(all, suffix{tx: int32(i), pos: 0})
 	}
-	m.mine(all, append([]dataset.Item(nil), prefix...))
+	m.sufs = all
+	m.hs = tx
+	m.mine(all, append(m.prefix[:0], prefix...))
+	m.hs = nil // do not retain the caller's projection past the call
 	return cancel.Err()
+}
+
+// reset rebinds the per-call fields, keeping the pooled buffers when the
+// F-list width is unchanged (the parallel steady path) and rebuilding them
+// otherwise.
+func (m *ctx) reset(flist *mining.FList, minCount int, sink mining.Sink, cancel *mining.Canceller) {
+	n := flist.Len()
+	if cap(m.decoded) < n {
+		m.decoded = make([]dataset.Item, n)
+		m.pool = nil // pooled levels are width-sized
+	} else {
+		m.decoded = m.decoded[:n]
+		for _, l := range m.pool {
+			if len(l.counts) < n {
+				m.pool = nil
+				break
+			}
+		}
+	}
+	if cap(m.prefix) < n+1 {
+		m.prefix = make([]dataset.Item, 0, n+1)
+	}
+	m.flist, m.min, m.sink, m.cancel = flist, minCount, sink, cancel
 }
 
 type ctx struct {
@@ -114,7 +161,23 @@ type ctx struct {
 	sink    mining.Sink
 	decoded []dataset.Item    // scratch for emitting in item space
 	pool    []*level          // free per-recursion header tables
+	subs    [][]suffix        // free per-recursion projection suffix slices
+	sufs    []suffix          // root suffix scratch, reused across calls
+	prefix  []dataset.Item    // prefix scratch, reused across calls
 	cancel  *mining.Canceller // nil when mining without a context
+}
+
+func (m *ctx) getSufs() []suffix {
+	if n := len(m.subs); n > 0 {
+		s := m.subs[n-1]
+		m.subs = m.subs[:n-1]
+		return s[:0]
+	}
+	return nil
+}
+
+func (m *ctx) putSufs(s []suffix) {
+	m.subs = append(m.subs, s)
 }
 
 // level is one recursion's header table: per-item support counts and suffix
@@ -179,7 +242,7 @@ func (m *ctx) mine(sufs []suffix, prefix []dataset.Item) {
 			lv.counts[it]++
 		}
 	}
-	sort.Slice(lv.touched, func(i, j int) bool { return lv.touched[i] < lv.touched[j] })
+	slices.Sort(lv.touched)
 
 	// Queue each suffix under its first locally-frequent item.
 	enqueue := func(s suffix) {
@@ -213,8 +276,9 @@ func (m *ctx) mine(sufs []suffix, prefix []dataset.Item) {
 		m.emit(prefix, lv.counts[r])
 
 		// Recurse into the r-projected database: same suffixes, moved one
-		// item past r.
-		sub := make([]suffix, 0, len(q))
+		// item past r. The slice comes from the per-recursion free list and
+		// returns to it once the subtree is fully mined.
+		sub := m.getSufs()
 		for _, s := range q {
 			if int(s.pos)+1 < len(m.hs[s.tx]) {
 				sub = append(sub, suffix{tx: s.tx, pos: s.pos + 1})
@@ -223,6 +287,7 @@ func (m *ctx) mine(sufs []suffix, prefix []dataset.Item) {
 		if len(sub) > 0 {
 			m.mine(sub, prefix)
 		}
+		m.putSufs(sub)
 
 		// Relink: hand each suffix to its next frequent item's queue so
 		// later items see their full projected databases.

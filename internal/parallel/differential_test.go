@@ -3,6 +3,7 @@ package parallel_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -211,13 +212,34 @@ func (s *retainSink) Emit(items []dataset.Item, support int) {
 	})
 }
 
+// branchDB builds a small database with several distinct branch shapes so
+// every wrapper fans out multiple tasks (no whole-tree shortcut applies)
+// and worker batches and scratch buffers are reused across tasks.
+func branchDB() *dataset.DB {
+	return dataset.New([][]dataset.Item{
+		{0, 1, 2, 3, 4, 5},
+		{0, 1, 2, 3, 4, 5},
+		{0, 1, 2},
+		{3, 4, 5},
+		{0, 3},
+		{1, 4},
+		{2, 5},
+		{0, 1, 2, 3},
+		{2, 3, 4, 5},
+	})
+}
+
 // TestParallelSinkCopyContract documents and enforces the mining.Sink copy
 // contract for every parallel wrapper: the emitted slice is only valid for
-// the duration of Emit (workers reuse their decode buffers), so a sink that
-// copies reconstructs the exact serial pattern set, while retained slices
-// are overwritten by later emissions.
+// the duration of Emit (workers reuse their batch slabs and projection
+// scratch across consecutive tasks), so a sink that copies reconstructs the
+// exact serial pattern set, while retained slices are overwritten by later
+// emissions. The workers=1 case is the strongest reuse regime — one scratch
+// state and one batch slab carry every task of the mine, so a pooled buffer
+// mutated after emission corrupting an earlier result would surface here as
+// a copied-set mismatch.
 func TestParallelSinkCopyContract(t *testing.T) {
-	db := hugeDB(6, 5) // 2^6-1 patterns, plenty of same-length emissions
+	db := branchDB()
 	cdb := core.Compress(db, nil, core.MCP)
 	truth := testutil.Oracle(t, db, 1)
 
@@ -225,18 +247,22 @@ func TestParallelSinkCopyContract(t *testing.T) {
 		name string
 		mine func(sink mining.Sink) error
 	}
-	wrappers := []wrapper{{
-		name: "par-hmine",
-		mine: func(sink mining.Sink) error {
-			return parallel.Miner{Workers: 4}.Mine(db, 1, sink)
-		},
-	}}
-	for _, eng := range engines() {
-		w := parallel.CDBMiner{Workers: 4, Engine: eng}
+	var wrappers []wrapper
+	for _, w := range []int{1, 4} {
+		w := w
 		wrappers = append(wrappers, wrapper{
-			name: w.Name(),
-			mine: func(sink mining.Sink) error { return w.MineCDB(cdb, 1, sink) },
+			name: fmt.Sprintf("par-hmine-%dw", w),
+			mine: func(sink mining.Sink) error {
+				return parallel.Miner{Workers: w}.Mine(db, 1, sink)
+			},
 		})
+		for _, eng := range engines() {
+			pw := parallel.CDBMiner{Workers: w, Engine: eng}
+			wrappers = append(wrappers, wrapper{
+				name: fmt.Sprintf("%s-%dw", pw.Name(), w),
+				mine: func(sink mining.Sink) error { return pw.MineCDB(cdb, 1, sink) },
+			})
+		}
 	}
 
 	for _, wr := range wrappers {

@@ -14,6 +14,16 @@
 // emits the two-item patterns itself and hands each {r, r2} subtree to the
 // pool, so skewed top-level subtrees no longer serialize on one worker.
 //
+// Task dispatch is allocation-lean: every worker owns a scratch state — the
+// engine's recycled working memory (PooledEncodedMiner), a pooled projection
+// buffer, and a local emission batch flushed to the shared sink under one
+// lock acquisition per task — so the steady path costs (near) zero
+// allocations per task and no per-pattern mutex traffic. Engines that
+// implement SharedTaskMiner (Recycle-FP) skip per-task re-projection
+// entirely: the wrapper builds one read-only structure and fans out
+// top-level items against it, preserving the prefix sharing that per-task
+// tree rebuilds destroyed.
+//
 // Mining honors context cancellation: the pool stops handing out tasks on
 // the first task error or context cancellation, and in-flight subtrees
 // abort through their engines' cooperative cancellers.
@@ -59,6 +69,16 @@ func (m Miner) MineContext(ctx context.Context, db *dataset.DB, minCount int, si
 	return m.mine(ctx, db, minCount, sink)
 }
 
+// hWorkerState is one par-hmine worker's reusable memory: the H-Mine
+// scratch, the projection pointer buffer, a prefix buffer, and the local
+// emission batch. Owned by exactly one worker goroutine.
+type hWorkerState struct {
+	scratch *hmine.Scratch
+	proj    [][]dataset.Item
+	prefix  []dataset.Item
+	batch   batchSink
+}
+
 func (m Miner) mine(ctx context.Context, db *dataset.DB, minCount int, sink mining.Sink) error {
 	if minCount < 1 {
 		return mining.ErrBadMinSupport
@@ -80,28 +100,39 @@ func (m Miner) mine(ctx context.Context, db *dataset.DB, minCount int, sink mini
 	workers := resolveWorkers(m.Workers, n)
 	split := n < splitFactor*workers
 
+	states := make([]*hWorkerState, workers)
+	for i := range states {
+		states[i] = &hWorkerState{scratch: hmine.NewScratch(), batch: batchSink{dst: safe}}
+	}
+
 	return runPool(ctx, workers, func(p *pool) {
 		for r := 0; r < n; r++ {
 			r := r
-			p.submit(func(c context.Context) error {
+			p.submit(func(c context.Context, wid int) error {
+				ws := states[wid]
+				defer ws.batch.flush()
 				// Emit the item itself, then its subtree.
 				buf := [1]dataset.Item{flist.Items[r]}
-				safe.Emit(buf[:], flist.Support[r])
+				ws.batch.Emit(buf[:], flist.Support[r])
 				span := sites[starts[r]:starts[r+1]]
 				if len(span) == 0 {
 					return nil
 				}
-				// The r-projected database: suffixes after r of tuples
-				// containing r.
-				proj := make([][]dataset.Item, len(span))
-				for i, s := range span {
-					proj[i] = tx[s.tx][s.pos+1:]
+				// The r-projected database, built into the worker's pooled
+				// pointer buffer: suffixes after r of tuples containing r.
+				// The suffix slices alias the shared encoded database; the
+				// engine is done with the buffer when the call returns, so
+				// the next task on this worker may reuse it.
+				proj := ws.proj[:0]
+				for _, s := range span {
+					proj = append(proj, tx[s.tx][s.pos+1:])
 				}
-				prefix := []dataset.Item{dataset.Item(r)}
+				ws.proj = proj
+				ws.prefix = append(ws.prefix[:0], dataset.Item(r))
 				if !split {
-					return hmine.MineProjectedContext(c, proj, flist, prefix, minCount, safe)
+					return hmine.MineProjectedScratch(c, ws.scratch, proj, flist, ws.prefix, minCount, &ws.batch)
 				}
-				return splitProjected(c, p, proj, flist, prefix, minCount, safe)
+				return splitProjected(c, p, states, proj, flist, ws.prefix, minCount, &ws.batch)
 			})
 		}
 	})
@@ -109,8 +140,11 @@ func (m Miner) mine(ctx context.Context, db *dataset.DB, minCount int, sink mini
 
 // splitProjected splits one top-level H-Mine task a level deeper: it emits
 // every frequent two-item extension of prefix itself and submits each
-// {prefix, r2} subtree to the pool as an independent task.
-func splitProjected(c context.Context, p *pool, proj [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, safe mining.Sink) error {
+// {prefix, r2} subtree to the pool as an independent task. Subtask
+// projections outlive this call (they run on other workers), so they are
+// freshly allocated here — only their tuple data aliases the shared encoded
+// database.
+func splitProjected(c context.Context, p *pool, states []*hWorkerState, proj [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error {
 	counts := make([]int, flist.Len())
 	for _, t := range proj {
 		for _, it := range t {
@@ -127,7 +161,7 @@ func splitProjected(c context.Context, p *pool, proj [][]dataset.Item, flist *mi
 			return err
 		}
 		buf[len(buf)-1] = dataset.Item(r2)
-		safe.Emit(flist.DecodeInto(decoded, buf), counts[r2])
+		sink.Emit(flist.DecodeInto(decoded, buf), counts[r2])
 		sub := make([][]dataset.Item, 0, counts[r2])
 		for _, t := range proj {
 			if i := rankIndex(t, dataset.Item(r2)); i >= 0 && i+1 < len(t) {
@@ -138,8 +172,10 @@ func splitProjected(c context.Context, p *pool, proj [][]dataset.Item, flist *mi
 			continue
 		}
 		subPrefix := append([]dataset.Item(nil), buf...)
-		p.submit(func(c context.Context) error {
-			return hmine.MineProjectedContext(c, sub, flist, subPrefix, minCount, safe)
+		p.submit(func(c context.Context, wid int) error {
+			ws := states[wid]
+			defer ws.batch.flush()
+			return hmine.MineProjectedScratch(c, ws.scratch, sub, flist, subPrefix, minCount, &ws.batch)
 		})
 	}
 	return nil
@@ -207,6 +243,45 @@ type EncodedCDBMiner interface {
 	MineEncodedContext(ctx context.Context, blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error
 }
 
+// PooledEncodedMiner is an EncodedCDBMiner whose working memory survives
+// across calls: NewScratch allocates it once per worker, and
+// MineEncodedScratch mines through it. A scratch is owned by one goroutine
+// at a time; the engine must be done with the caller's projection when the
+// call returns (so the wrapper may reuse its projection buffers), and all
+// calls reusing one scratch should pass the same F-list. All three rp-*
+// engines satisfy this.
+type PooledEncodedMiner interface {
+	EncodedCDBMiner
+	NewScratch() any
+	MineEncodedScratch(ctx context.Context, scratch any, blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error
+}
+
+// SharedTaskMiner is a PooledEncodedMiner that can decompose a mine into
+// per-item tasks against one shared read-only structure instead of per-task
+// re-projection. PrepareShared builds the structure and returns the task
+// items (a nil shared value means a whole-projection shortcut applies and
+// the caller should mine serially via MineEncodedScratch); MineSharedTask
+// mines one task, emitting the task item's own pattern too, and is safe to
+// call concurrently with distinct scratches against one shared value.
+// Recycle-FP satisfies this: rebuilding a prefix tree per task destroyed
+// the prefix sharing that makes FP-growth fast, so its parallel mode builds
+// the tree once.
+type SharedTaskMiner interface {
+	PooledEncodedMiner
+	PrepareShared(blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, minCount int) (shared any, tasks []dataset.Item)
+	MineSharedTask(ctx context.Context, scratch, shared any, task dataset.Item, prefix []dataset.Item, sink mining.Sink) error
+}
+
+// workerState is one CDB worker's reusable memory: the engine scratch, the
+// pooled projection buffers, a prefix buffer, and the local emission batch.
+// Owned by exactly one worker goroutine.
+type workerState struct {
+	scratch any // non-nil iff the engine is a PooledEncodedMiner
+	proj    core.ProjScratch
+	prefix  []dataset.Item
+	batch   batchSink
+}
+
 // CDBMiner mines compressed databases by fanning independent top-level
 // subtrees out to worker goroutines, each mined by Engine.
 type CDBMiner struct {
@@ -264,21 +339,75 @@ func (m CDBMiner) mineCDB(ctx context.Context, cdb *core.CDB, minCount int, sink
 	workers := resolveWorkers(m.Workers, n)
 	split := n < splitFactor*workers
 
+	pooled, _ := eng.(PooledEncodedMiner)
+	states := make([]*workerState, workers)
+	for i := range states {
+		ws := &workerState{batch: batchSink{dst: safe}}
+		if pooled != nil {
+			ws.scratch = pooled.NewScratch()
+		}
+		states[i] = ws
+	}
+
+	// Shared-task mode: one read-only structure, one task per top-level
+	// frequent item, no per-task re-projection. The tasks emit their own
+	// top-level patterns (supports come from the shared structure, matching
+	// the serial walk exactly).
+	if stm, ok := eng.(SharedTaskMiner); ok {
+		shared, tasks := stm.PrepareShared(blocks, loose, flist, minCount)
+		if shared == nil {
+			// A whole-projection shortcut applies: mine as one serial task.
+			return runPool(ctx, workers, func(p *pool) {
+				p.submit(func(c context.Context, wid int) error {
+					ws := states[wid]
+					defer ws.batch.flush()
+					return stm.MineEncodedScratch(c, ws.scratch, blocks, loose, flist, nil, minCount, &ws.batch)
+				})
+			})
+		}
+		return runPool(ctx, workers, func(p *pool) {
+			for _, r := range tasks {
+				r := r
+				p.submit(func(c context.Context, wid int) error {
+					ws := states[wid]
+					defer ws.batch.flush()
+					return stm.MineSharedTask(c, ws.scratch, shared, r, nil, &ws.batch)
+				})
+			}
+		})
+	}
+
 	return runPool(ctx, workers, func(p *pool) {
 		for r := 0; r < n; r++ {
 			r := r
-			p.submit(func(c context.Context) error {
+			p.submit(func(c context.Context, wid int) error {
+				ws := states[wid]
+				defer ws.batch.flush()
 				buf := [1]dataset.Item{flist.Items[r]}
-				safe.Emit(buf[:], flist.Support[r])
-				subBlocks, subLoose := core.Project(blocks, loose, dataset.Item(r))
+				ws.batch.Emit(buf[:], flist.Support[r])
+				var subBlocks []core.Block
+				var subLoose [][]dataset.Item
+				if !split && pooled != nil {
+					// The engine is done with the projection when the call
+					// returns, so it may live in the worker's scratch slab.
+					subBlocks, subLoose = ws.proj.Project(blocks, loose, dataset.Item(r))
+				} else {
+					// Split subtasks outlive this task (they run on other
+					// workers) and alias this projection's tail slices, so
+					// it must be freshly allocated.
+					subBlocks, subLoose = core.Project(blocks, loose, dataset.Item(r))
+				}
 				if len(subBlocks) == 0 && len(subLoose) == 0 {
 					return nil
 				}
-				prefix := []dataset.Item{dataset.Item(r)}
+				ws.prefix = append(ws.prefix[:0], dataset.Item(r))
 				if !split {
-					return eng.MineEncodedContext(c, subBlocks, subLoose, flist, prefix, minCount, safe)
+					if pooled != nil {
+						return pooled.MineEncodedScratch(c, ws.scratch, subBlocks, subLoose, flist, ws.prefix, minCount, &ws.batch)
+					}
+					return eng.MineEncodedContext(c, subBlocks, subLoose, flist, ws.prefix, minCount, &ws.batch)
 				}
-				return splitEncoded(c, p, eng, subBlocks, subLoose, flist, prefix, minCount, safe)
+				return splitEncoded(c, p, eng, states, subBlocks, subLoose, flist, ws.prefix, minCount, &ws.batch)
 			})
 		}
 	})
@@ -286,8 +415,10 @@ func (m CDBMiner) mineCDB(ctx context.Context, cdb *core.CDB, minCount int, sink
 
 // splitEncoded splits one top-level compressed task a level deeper,
 // mirroring splitProjected over blocks: suffix occurrences count at block
-// weight, tail and loose occurrences at one.
-func splitEncoded(c context.Context, p *pool, eng EncodedCDBMiner, blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, safe mining.Sink) error {
+// weight, tail and loose occurrences at one. Subtask projections outlive
+// this call, so core.Project allocates them fresh — their item data aliases
+// only the immortal root encoding.
+func splitEncoded(c context.Context, p *pool, eng EncodedCDBMiner, states []*workerState, blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error {
 	counts := make([]int, flist.Len())
 	for i := range blocks {
 		b := &blocks[i]
@@ -305,6 +436,7 @@ func splitEncoded(c context.Context, p *pool, eng EncodedCDBMiner, blocks []core
 			counts[it]++
 		}
 	}
+	pooled, _ := eng.(PooledEncodedMiner)
 	buf := append(append([]dataset.Item(nil), prefix...), 0)
 	decoded := make([]dataset.Item, len(buf))
 	for r2 := range counts {
@@ -315,14 +447,19 @@ func splitEncoded(c context.Context, p *pool, eng EncodedCDBMiner, blocks []core
 			return err
 		}
 		buf[len(buf)-1] = dataset.Item(r2)
-		safe.Emit(flist.DecodeInto(decoded, buf), counts[r2])
+		sink.Emit(flist.DecodeInto(decoded, buf), counts[r2])
 		subBlocks, subLoose := core.Project(blocks, loose, dataset.Item(r2))
 		if len(subBlocks) == 0 && len(subLoose) == 0 {
 			continue
 		}
 		subPrefix := append([]dataset.Item(nil), buf...)
-		p.submit(func(c context.Context) error {
-			return eng.MineEncodedContext(c, subBlocks, subLoose, flist, subPrefix, minCount, safe)
+		p.submit(func(c context.Context, wid int) error {
+			ws := states[wid]
+			defer ws.batch.flush()
+			if pooled != nil {
+				return pooled.MineEncodedScratch(c, ws.scratch, subBlocks, subLoose, flist, subPrefix, minCount, &ws.batch)
+			}
+			return eng.MineEncodedContext(c, subBlocks, subLoose, flist, subPrefix, minCount, &ws.batch)
 		})
 	}
 	return nil
@@ -351,7 +488,7 @@ func resolveWorkers(w, n int) int {
 type pool struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []func(context.Context) error
+	queue   []func(context.Context, int) error
 	pending int // queued + running tasks
 	stopped bool
 	err     error
@@ -359,9 +496,11 @@ type pool struct {
 	cancel  context.CancelFunc
 }
 
-// submit enqueues a task. Safe to call from the seeding function and from
-// running tasks; after the pool stops, submissions are dropped.
-func (p *pool) submit(task func(context.Context) error) {
+// submit enqueues a task; the task receives the inner context and the index
+// of the worker running it (its key into per-worker scratch state). Safe to
+// call from the seeding function and from running tasks; after the pool
+// stops, submissions are dropped.
+func (p *pool) submit(task func(context.Context, int) error) {
 	p.mu.Lock()
 	if p.stopped {
 		p.mu.Unlock()
@@ -386,10 +525,10 @@ func runPool(ctx context.Context, workers int, seed func(*pool)) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(wid int) {
 			defer wg.Done()
-			p.work()
-		}()
+			p.work(wid)
+		}(w)
 	}
 	wg.Wait()
 
@@ -402,7 +541,7 @@ func runPool(ctx context.Context, workers int, seed func(*pool)) error {
 // work is one worker's loop: pop newest-first (LIFO keeps the queue small
 // under splitting), run, account. The first failure marks the pool stopped
 // and cancels the shared inner context so running siblings abort too.
-func (p *pool) work() {
+func (p *pool) work(wid int) {
 	for {
 		p.mu.Lock()
 		for !p.stopped && len(p.queue) == 0 && p.pending > 0 {
@@ -416,7 +555,7 @@ func (p *pool) work() {
 		p.queue = p.queue[:len(p.queue)-1]
 		p.mu.Unlock()
 
-		err := task(p.inner)
+		err := task(p.inner, wid)
 
 		p.mu.Lock()
 		if err != nil && !p.stopped {
@@ -446,4 +585,49 @@ func (s *lockedSink) Emit(items []dataset.Item, support int) {
 	s.mu.Lock()
 	s.sink.Emit(items, support)
 	s.mu.Unlock()
+}
+
+// batchFlushItems bounds a worker's local batch: past this many buffered
+// pattern items the batch flushes early, so giant tasks cannot hoard
+// unbounded memory before their completion flush.
+const batchFlushItems = 1 << 14
+
+// batchSink buffers one worker's emissions locally and hands them to the
+// shared sink under a single lock acquisition — per-pattern mutex traffic
+// was the other half of the parallel dispatch cost. Each task flushes its
+// batch on completion, so emissions reach the destination sink before the
+// wrapper returns. The buffers are recycled across flushes; the slices
+// passed to the destination obey the mining.Sink contract (valid only for
+// the duration of Emit).
+type batchSink struct {
+	dst   *lockedSink
+	items []dataset.Item // concatenated pattern items
+	ends  []int32        // end offset of each pattern in items
+	sups  []int          // support of each pattern
+}
+
+// Emit implements mining.Sink.
+func (b *batchSink) Emit(items []dataset.Item, support int) {
+	b.items = append(b.items, items...)
+	b.ends = append(b.ends, int32(len(b.items)))
+	b.sups = append(b.sups, support)
+	if len(b.items) >= batchFlushItems {
+		b.flush()
+	}
+}
+
+// flush drains the batch to the destination sink under one lock
+// acquisition and resets the buffers for reuse.
+func (b *batchSink) flush() {
+	if len(b.sups) == 0 {
+		return
+	}
+	b.dst.mu.Lock()
+	start := int32(0)
+	for i, end := range b.ends {
+		b.dst.sink.Emit(b.items[start:end], b.sups[i])
+		start = end
+	}
+	b.dst.mu.Unlock()
+	b.items, b.ends, b.sups = b.items[:0], b.ends[:0], b.sups[:0]
 }

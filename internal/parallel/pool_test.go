@@ -20,7 +20,7 @@ func TestPoolStopsAfterError(t *testing.T) {
 	var started atomic.Int64
 	err := runPool(context.Background(), workers, func(p *pool) {
 		for i := 0; i < tasks; i++ {
-			p.submit(func(c context.Context) error {
+			p.submit(func(c context.Context, _ int) error {
 				if started.Add(1) == 1 {
 					return boom // first executed task fails
 				}
@@ -49,7 +49,7 @@ func TestPoolOuterCancel(t *testing.T) {
 	go func() {
 		errc <- runPool(ctx, 2, func(p *pool) {
 			for i := 0; i < 50; i++ {
-				p.submit(func(c context.Context) error {
+				p.submit(func(c context.Context, _ int) error {
 					started.Add(1)
 					<-c.Done()
 					return c.Err()
@@ -80,10 +80,10 @@ func TestPoolSubtaskSpawning(t *testing.T) {
 	var ran atomic.Int64
 	err := runPool(context.Background(), 3, func(p *pool) {
 		for i := 0; i < 5; i++ {
-			p.submit(func(context.Context) error {
+			p.submit(func(context.Context, int) error {
 				ran.Add(1)
 				for j := 0; j < 4; j++ {
-					p.submit(func(context.Context) error {
+					p.submit(func(context.Context, int) error {
 						ran.Add(1)
 						return nil
 					})

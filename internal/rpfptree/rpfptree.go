@@ -61,8 +61,43 @@ func childKey(group int32, item dataset.Item) int64 {
 	return int64(item)
 }
 
+// nodeArena is a chunked bump allocator for tree nodes. Chunks never move,
+// so node pointers stay valid for the arena's lifetime; recycled nodes keep
+// their children maps (cleared on reuse), which is where most of the old
+// per-node allocation cost lived. Conditional trees are strictly nested in
+// the growth recursion, so a mark/release pair around each conditional
+// tree's lifetime reclaims its nodes LIFO-style with no bookkeeping.
+type nodeArena struct {
+	chunks [][]node
+	n      int // nodes currently in use
+}
+
+const arenaChunk = 256
+
+func (a *nodeArena) get(item dataset.Item, group int32, parent *node) *node {
+	ci, off := a.n/arenaChunk, a.n%arenaChunk
+	if ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]node, arenaChunk))
+	}
+	a.n++
+	nd := &a.chunks[ci][off]
+	nd.item, nd.group, nd.parent = item, group, parent
+	nd.count = 0
+	nd.next = nil
+	if nd.children == nil {
+		nd.children = make(map[int64]*node)
+	} else {
+		clear(nd.children)
+	}
+	return nd
+}
+
+func (a *nodeArena) mark() int     { return a.n }
+func (a *nodeArena) release(m int) { a.n = m }
+
 // tree is a compressed FP-tree: real-item header chains plus per-group
-// patterns and head chains.
+// patterns and head chains. Nodes come from the owning arena; the tree's
+// own slices are recycled through ctx's tree pool.
 type tree struct {
 	root       *node
 	heads      []*node // per real item (rank space)
@@ -70,13 +105,18 @@ type tree struct {
 	groups     [][]dataset.Item
 	groupHeads []*node
 	nItems     int
+	arena      *nodeArena
 
 	// byItem lazily indexes groups by pattern item; pathCache lazily holds
 	// each group's subtree decomposition (member tails with residual
 	// counts), so projecting a group onto its k pattern items walks the
 	// subtree once instead of k times.
-	byItem    map[dataset.Item][]int32
-	pathCache map[int32][]pathEntry
+	byItem    [][]int32 // per real item, group indices
+	byBuilt   bool
+	pathCache [][]pathEntry // per group, nil until computed
+	pathDone  []bool
+	pathBuf   []dataset.Item // root-to-node scratch for subtree walks
+	patSlab   []dataset.Item // backing for conditional group patterns
 }
 
 // pathEntry is one set of member tuples below a group head: their common
@@ -86,50 +126,91 @@ type pathEntry struct {
 	count int
 }
 
-// groupsWith returns the indices of groups whose pattern contains it.
-func (tr *tree) groupsWith(it dataset.Item) []int32 {
-	if tr.byItem == nil {
-		tr.byItem = map[dataset.Item][]int32{}
-		for gi, pat := range tr.groups {
-			for _, p := range pat {
-				tr.byItem[p] = append(tr.byItem[p], int32(gi))
-			}
+// buildByItem materializes the group-by-item index. PrepareShared calls it
+// eagerly so concurrent task mining never mutates the shared tree.
+func (tr *tree) buildByItem() {
+	if tr.byBuilt {
+		return
+	}
+	if len(tr.byItem) < tr.nItems {
+		tr.byItem = make([][]int32, tr.nItems)
+	}
+	for i := range tr.byItem[:tr.nItems] {
+		tr.byItem[i] = tr.byItem[i][:0]
+	}
+	for gi, pat := range tr.groups {
+		for _, p := range pat {
+			tr.byItem[p] = append(tr.byItem[p], int32(gi))
 		}
 	}
+	tr.byBuilt = true
+}
+
+// groupsWith returns the indices of groups whose pattern contains it.
+func (tr *tree) groupsWith(it dataset.Item) []int32 {
+	tr.buildByItem()
 	return tr.byItem[it]
 }
 
 // paths returns the cached subtree decomposition of every head node of
-// group gi.
+// group gi. Cache slots (and their entry buffers) are recycled across the
+// owning tree's reuses.
 func (tr *tree) paths(gi int32) []pathEntry {
-	if ps, ok := tr.pathCache[gi]; ok {
-		return ps
+	for len(tr.pathDone) < len(tr.groups) {
+		tr.pathDone = append(tr.pathDone, false)
 	}
-	if tr.pathCache == nil {
-		tr.pathCache = map[int32][]pathEntry{}
+	for len(tr.pathCache) < len(tr.groups) {
+		if len(tr.pathCache) < cap(tr.pathCache) {
+			// Re-expose a recycled slot: its entry buffer is scratch for
+			// the next decomposition.
+			tr.pathCache = tr.pathCache[:len(tr.pathCache)+1]
+		} else {
+			tr.pathCache = append(tr.pathCache, nil)
+		}
 	}
-	var ps []pathEntry
+	if tr.pathDone[gi] {
+		return tr.pathCache[gi]
+	}
+	ps := tr.pathCache[gi][:0]
 	for g := tr.groupHeads[gi]; g != nil; g = g.next {
-		collectSubtree(g, nil, func(path []dataset.Item, count int) {
-			// path is root-to-node (descending rank); store ascending.
-			items := make([]dataset.Item, len(path))
-			for i, p := range path {
-				items[len(path)-1-i] = p
-			}
-			ps = append(ps, pathEntry{items: items, count: count})
-		})
+		ps = tr.collect(g, 0, ps)
 	}
 	tr.pathCache[gi] = ps
+	tr.pathDone[gi] = true
 	return ps
 }
 
-func newTree(nItems int) *tree {
-	return &tree{
-		root:   &node{item: -1, group: -1, children: map[int64]*node{}},
-		heads:  make([]*node, nItems),
-		counts: make([]int, nItems),
-		nItems: nItems,
+// collect walks the subtree below g, appending a pathEntry for every node
+// with a positive residual count (node count minus its children's counts):
+// the tuples that end at that node. tr.pathBuf[:depth] holds the root-to-g
+// real items (descending rank); entries store them ascending. Recycled
+// entry slots keep their items buffers.
+func (tr *tree) collect(g *node, depth int, ps []pathEntry) []pathEntry {
+	residual := g.count
+	for _, child := range g.children {
+		residual -= child.count
 	}
+	if residual > 0 {
+		var e pathEntry
+		if len(ps) < cap(ps) {
+			e = ps[:len(ps)+1][len(ps)]
+		}
+		e.items = e.items[:0]
+		for i := depth - 1; i >= 0; i-- {
+			e.items = append(e.items, tr.pathBuf[i])
+		}
+		e.count = residual
+		ps = append(ps, e)
+	}
+	for _, child := range g.children {
+		if depth < len(tr.pathBuf) {
+			tr.pathBuf[depth] = child.item
+		} else {
+			tr.pathBuf = append(tr.pathBuf[:depth], child.item)
+		}
+		ps = tr.collect(child, depth+1, ps)
+	}
+	return ps
 }
 
 // addGroup registers a group pattern and returns its tree-local index.
@@ -142,6 +223,15 @@ func (tr *tree) addGroup(pattern []dataset.Item) int32 {
 	return gi
 }
 
+// addGroupCopy is addGroup for a caller-owned scratch pattern: the items are
+// copied into the tree's pattern slab (a slab regrow leaves earlier groups
+// on the old backing array, which still holds their final patterns).
+func (tr *tree) addGroupCopy(pattern []dataset.Item) int32 {
+	off := len(tr.patSlab)
+	tr.patSlab = append(tr.patSlab, pattern...)
+	return tr.addGroup(tr.patSlab[off:len(tr.patSlab):len(tr.patSlab)])
+}
+
 // insert adds one tuple: an optional group (by tree-local index, -1 for
 // none) followed by real outlying items (ascending rank; walked descending
 // so frequent items sit near the root).
@@ -151,7 +241,7 @@ func (tr *tree) insert(group int32, tail []dataset.Item, count int) {
 		key := childKey(group, 0)
 		child := cur.children[key]
 		if child == nil {
-			child = &node{item: -1, group: group, children: map[int64]*node{}, parent: cur}
+			child = tr.arena.get(-1, group, cur)
 			child.next = tr.groupHeads[group]
 			tr.groupHeads[group] = child
 			cur.children[key] = child
@@ -168,7 +258,7 @@ func (tr *tree) insert(group int32, tail []dataset.Item, count int) {
 		key := childKey(-1, it)
 		child := cur.children[key]
 		if child == nil {
-			child = &node{item: it, group: -1, children: map[int64]*node{}, parent: cur}
+			child = tr.arena.get(it, -1, cur)
 			child.next = tr.heads[it]
 			tr.heads[it] = child
 			cur.children[key] = child
@@ -232,11 +322,28 @@ func (Miner) MineEncodedContext(c context.Context, blocks []core.Block, loose []
 	return cancel.Err()
 }
 
-func mineEncoded(blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink, cancel *mining.Canceller) error {
-	if minCount < 1 {
-		return mining.ErrBadMinSupport
+// NewScratch implements the parallel wrapper's pooled-miner contract: the
+// returned value holds the engine's reusable working memory (node arena,
+// tree pool, counting and prefix buffers) and may be threaded through
+// consecutive MineEncodedScratch / MineSharedTask calls by one goroutine.
+func (Miner) NewScratch() any { return &ctx{} }
+
+// MineEncodedScratch is MineEncodedContext mining through sc's recycled
+// buffers (sc must come from NewScratch). All calls reusing one scratch
+// should pass the same F-list; a width change resets the pooled tables.
+func (Miner) MineEncodedScratch(c context.Context, sc any, blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error {
+	cancel := mining.NewCanceller(c, 0)
+	if err := cancel.Err(); err != nil {
+		return err
 	}
-	tr := newTree(flist.Len())
+	if err := mineEncodedInto(sc.(*ctx), blocks, loose, flist, prefix, minCount, sink, cancel); err != nil {
+		return err
+	}
+	return cancel.Err()
+}
+
+// buildTree inserts a rank-encoded compressed projection into tr.
+func buildTree(tr *tree, blocks []core.Block, loose [][]dataset.Item) {
 	for _, b := range blocks {
 		gi := tr.addGroup(b.Suffix)
 		nTails := 0
@@ -251,9 +358,93 @@ func mineEncoded(blocks []core.Block, loose [][]dataset.Item, flist *mining.FLis
 	for _, t := range loose {
 		tr.insert(-1, t, 1)
 	}
-	m := &ctx{flist: flist, min: minCount, sink: sink, decoded: make([]dataset.Item, flist.Len()), cancel: cancel}
-	m.growth(tr, append([]dataset.Item(nil), prefix...))
+}
+
+func mineEncoded(blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink, cancel *mining.Canceller) error {
+	return mineEncodedInto(&ctx{}, blocks, loose, flist, prefix, minCount, sink, cancel)
+}
+
+func mineEncodedInto(m *ctx, blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink, cancel *mining.Canceller) error {
+	if minCount < 1 {
+		return mining.ErrBadMinSupport
+	}
+	m.reset(flist, minCount, sink, cancel)
+	mk := m.arena.mark()
+	tr := m.getTree()
+	buildTree(tr, blocks, loose)
+	m.growth(tr, append(m.prefix[:0], prefix...))
+	m.putTree(tr)
+	m.arena.release(mk)
+	m.sink, m.cancel = nil, nil
 	return nil
+}
+
+// sharedTree is the fan-out state PrepareShared hands to concurrent
+// MineSharedTask calls: one fully built compressed tree with its lazy
+// indexes materialized, so task mining is strictly read-only on it.
+type sharedTree struct {
+	tr    *tree
+	arena nodeArena
+	flist *mining.FList
+	min   int
+}
+
+// PrepareShared builds the root compressed tree ONCE and returns the
+// top-level frequent items as independent tasks: MineSharedTask(task) mines
+// exactly the subtree growth would mine for that item, against the shared
+// tree. This is what makes parallel Recycle-FP worthwhile — per-task
+// re-projection and tree rebuilding destroyed the prefix sharing the serial
+// miner gets for free. A nil shared value means a whole-tree shortcut
+// (lone group / single path) applies and the caller should mine the
+// projection as one serial task instead.
+func (Miner) PrepareShared(blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, minCount int) (any, []dataset.Item) {
+	if minCount < 1 || flist.Len() == 0 {
+		return nil, nil
+	}
+	st := &sharedTree{flist: flist, min: minCount}
+	n := flist.Len()
+	tr := &tree{heads: make([]*node, n), counts: make([]int, n), nItems: n, arena: &st.arena}
+	tr.root = st.arena.get(-1, -1, nil)
+	buildTree(tr, blocks, loose)
+	st.tr = tr
+	if g, _ := tr.loneGroup(); g >= 0 {
+		return nil, nil
+	}
+	if _, _, ok := tr.singleRealPath(nil, nil); ok {
+		return nil, nil
+	}
+	// Materialize the lazy indexes: concurrent tasks must never write the
+	// shared tree.
+	tr.buildByItem()
+	for gi := range tr.groups {
+		tr.paths(int32(gi))
+	}
+	var tasks []dataset.Item
+	for r := 0; r < n; r++ {
+		if tr.counts[r] >= minCount {
+			tasks = append(tasks, dataset.Item(r))
+		}
+	}
+	return st, tasks
+}
+
+// MineSharedTask mines one PrepareShared task (a top-level frequent item)
+// against the shared tree, through sc's recycled buffers. prefix is the
+// rank-space pattern the whole shared projection extends (nil at the root).
+// Safe to call concurrently with other scratches against one shared tree.
+func (Miner) MineSharedTask(c context.Context, sc, shared any, task dataset.Item, prefix []dataset.Item, sink mining.Sink) error {
+	st := shared.(*sharedTree)
+	m := sc.(*ctx)
+	cancel := mining.NewCanceller(c, 0)
+	if err := cancel.Err(); err != nil {
+		return err
+	}
+	m.reset(st.flist, st.min, sink, cancel)
+	mk := m.arena.mark()
+	m.mineItem(st.tr, task, append(append(m.prefix[:0], prefix...), 0))
+	m.arena.release(mk)
+	m.sink, m.cancel = nil, nil
+	return cancel.Err()
 }
 
 type ctx struct {
@@ -261,7 +452,84 @@ type ctx struct {
 	min     int
 	sink    mining.Sink
 	decoded []dataset.Item
+	width   int
 	cancel  *mining.Canceller // nil when mining without a context
+
+	arena nodeArena
+	trees []*tree // free list; conditional trees are strictly nested
+
+	// Per-item scratch, shared across recursion depths: each loop iteration
+	// in growth fully re-initializes these before use and is done with them
+	// before it recurses, so one buffer of each suffices for the whole walk.
+	condCounts []int
+	pbuf       []dataset.Item
+	tbuf       []dataset.Item
+	walkTail   []dataset.Item
+	giMap      []int32
+	spItems    []dataset.Item // singleRealPath scratch
+	spCounts   []int
+	prefix     []dataset.Item // prefix scratch, reused across calls
+	enumBuf    []dataset.Item // combination-enumeration scratch
+}
+
+// reset rebinds the per-call fields, keeping the pooled buffers when the
+// F-list width is unchanged (the parallel steady path) and rebuilding them
+// otherwise.
+func (m *ctx) reset(flist *mining.FList, minCount int, sink mining.Sink, cancel *mining.Canceller) {
+	n := flist.Len()
+	if cap(m.decoded) < n {
+		m.decoded = make([]dataset.Item, n)
+		m.condCounts = make([]int, n)
+		m.trees = nil // pooled trees are width-sized
+	} else {
+		m.decoded = m.decoded[:n]
+		if cap(m.condCounts) < n {
+			m.condCounts = make([]int, n)
+		} else {
+			m.condCounts = m.condCounts[:n]
+		}
+		for _, tr := range m.trees {
+			if len(tr.heads) < n {
+				m.trees = nil
+				break
+			}
+		}
+	}
+	if cap(m.prefix) < n+1 {
+		m.prefix = make([]dataset.Item, 0, n+1)
+	}
+	m.width = n
+	m.flist, m.min, m.sink, m.cancel = flist, minCount, sink, cancel
+}
+
+// getTree returns a cleared tree whose nodes draw from the ctx arena. The
+// caller must putTree it (and release the arena to its mark) once the
+// subtree is fully mined.
+func (m *ctx) getTree() *tree {
+	var tr *tree
+	if n := len(m.trees); n > 0 {
+		tr = m.trees[n-1]
+		m.trees = m.trees[:n-1]
+		clear(tr.heads)
+		clear(tr.counts)
+		tr.groups = tr.groups[:0]
+		tr.groupHeads = tr.groupHeads[:0]
+		tr.byBuilt = false
+		tr.pathDone = tr.pathDone[:0]
+		tr.pathCache = tr.pathCache[:0]
+		tr.patSlab = tr.patSlab[:0]
+	} else {
+		tr = &tree{heads: make([]*node, m.width), counts: make([]int, m.width)}
+	}
+	tr.nItems = m.width
+	tr.arena = &m.arena
+	tr.root = m.arena.get(-1, -1, nil)
+	return tr
+}
+
+func (m *ctx) putTree(tr *tree) {
+	tr.root = nil // nodes go back with the arena release
+	m.trees = append(m.trees, tr)
 }
 
 func (m *ctx) emit(prefix []dataset.Item, support int) {
@@ -281,15 +549,13 @@ func (m *ctx) growth(tr *tree, prefix []dataset.Item) {
 		return
 	}
 	// Classic single-path shortcut when no specials are involved.
-	if items, counts := tr.singleRealPath(); items != nil {
+	if items, counts, ok := tr.singleRealPath(m.spItems[:0], m.spCounts[:0]); ok {
+		m.spItems, m.spCounts = items[:0], counts[:0]
 		m.enumeratePath(items, counts, prefix)
 		return
 	}
 
 	prefix = append(prefix, 0)
-	condCounts := make([]int, tr.nItems)
-	var pbuf, tbuf []dataset.Item
-	var giMap []int32
 	for r := 0; r < tr.nItems; r++ {
 		if tr.counts[r] < m.min {
 			continue
@@ -297,145 +563,145 @@ func (m *ctx) growth(tr *tree, prefix []dataset.Item) {
 		if m.cancel.Check() != nil {
 			return
 		}
-		it := dataset.Item(r)
-		prefix[len(prefix)-1] = it
-		m.emit(prefix, tr.counts[r])
-
-		// Pass A: support counts over the conditional pattern base, drawn
-		// from the item's physical nodes and from the groups whose pattern
-		// contains it.
-		for i := range condCounts {
-			condCounts[i] = 0
-		}
-		for n := tr.heads[it]; n != nil; n = n.next {
-			for p := n.parent; p != nil; p = p.parent {
-				if p.group >= 0 {
-					for _, bi := range restrict(tr.groups[p.group], it) {
-						condCounts[bi] += n.count
-					}
-					break // group heads sit directly below the root
-				}
-				if p.item >= 0 {
-					condCounts[p.item] += n.count
-				}
-			}
-		}
-		for _, gi := range tr.groupsWith(it) {
-			rest := restrict(tr.groups[gi], it)
-			for _, pe := range tr.paths(gi) {
-				for _, bi := range rest {
-					condCounts[bi] += pe.count
-				}
-				for _, bi := range restrict(pe.items, it) {
-					condCounts[bi] += pe.count
-				}
-			}
-		}
-		any := false
-		for _, c := range condCounts {
-			if c >= m.min {
-				any = true
-				break
-			}
-		}
-		if !any {
-			continue
-		}
-
-		// Pass B: build the conditional compressed tree from the same two
-		// sources, keeping only locally frequent items. The restriction of
-		// a group pattern becomes a group of the conditional tree.
-		cond := newTree(tr.nItems)
-		// All inserts sharing a source group yield the same restricted,
-		// filtered pattern, so the conditional group index is memoized per
-		// source group — no pattern hashing on the hot path.
-		if cap(giMap) < len(tr.groups) {
-			giMap = make([]int32, len(tr.groups))
-		}
-		giMap = giMap[:len(tr.groups)]
-		for i := range giMap {
-			giMap[i] = -2 // not computed
-		}
-		condGroup := func(srcGi int32) int32 {
-			if g := giMap[srcGi]; g != -2 {
-				return g
-			}
-			pbuf = pbuf[:0]
-			for _, bi := range restrict(tr.groups[srcGi], it) {
-				if condCounts[bi] >= m.min {
-					pbuf = append(pbuf, bi)
-				}
-			}
-			g := int32(-1)
-			if len(pbuf) > 0 {
-				g = cond.addGroup(append([]dataset.Item(nil), pbuf...))
-			}
-			giMap[srcGi] = g
-			return g
-		}
-		insert := func(srcGi int32, tail []dataset.Item, count int) {
-			gi := int32(-1)
-			if srcGi >= 0 {
-				gi = condGroup(srcGi)
-			}
-			tbuf = tbuf[:0]
-			for _, bi := range tail {
-				if condCounts[bi] >= m.min {
-					tbuf = append(tbuf, bi)
-				}
-			}
-			if gi >= 0 || len(tbuf) > 0 {
-				cond.insert(gi, tbuf, count)
-			}
-		}
-		var walkTail []dataset.Item
-		for n := tr.heads[it]; n != nil; n = n.next {
-			walkTail = walkTail[:0]
-			srcGi := int32(-1)
-			for p := n.parent; p != nil; p = p.parent {
-				if p.group >= 0 {
-					srcGi = p.group
-					break
-				}
-				if p.item >= 0 {
-					walkTail = append(walkTail, p.item)
-				}
-			}
-			if len(walkTail) > 0 || srcGi >= 0 {
-				// Climbing yields ascending rank, as insert expects.
-				insert(srcGi, walkTail, n.count)
-			}
-		}
-		for _, gi := range tr.groupsWith(it) {
-			for _, pe := range tr.paths(gi) {
-				tail := restrict(pe.items, it)
-				if len(tail) > 0 || len(tr.groups[gi]) > 0 {
-					insert(gi, tail, pe.count)
-				}
-			}
-		}
-		if len(cond.root.children) > 0 {
-			m.growth(cond, prefix)
-		}
+		m.mineItem(tr, dataset.Item(r), prefix)
 	}
 }
 
-// collectSubtree walks the subtree below g, invoking fn for every node with
-// a positive residual count (node count minus its children's counts): the
-// tuples that end at that node. path accumulates real items from g downward
-// and is ascending by construction? No — descending rank going down; fn
-// receives it unsorted and callers sort/filter as needed.
-func collectSubtree(g *node, path []dataset.Item, fn func(path []dataset.Item, count int)) {
-	residual := g.count
-	for _, child := range g.children {
-		residual -= child.count
+// mineItem emits prefix[...last]=it at it's support in tr and mines it's
+// conditional tree. prefix's last slot is scratch for it; the slots before
+// it are the pattern tr itself extends. The per-item buffers (condCounts,
+// pbuf, tbuf, walkTail, giMap) are shared across recursion depths: each
+// invocation fully re-initializes them before use and is done with them
+// before recursing into the conditional tree.
+func (m *ctx) mineItem(tr *tree, it dataset.Item, prefix []dataset.Item) {
+	prefix[len(prefix)-1] = it
+	m.emit(prefix, tr.counts[it])
+
+	// Pass A: support counts over the conditional pattern base, drawn
+	// from the item's physical nodes and from the groups whose pattern
+	// contains it.
+	condCounts := m.condCounts
+	for i := range condCounts {
+		condCounts[i] = 0
 	}
-	if residual > 0 {
-		fn(path, residual)
+	for n := tr.heads[it]; n != nil; n = n.next {
+		for p := n.parent; p != nil; p = p.parent {
+			if p.group >= 0 {
+				for _, bi := range restrict(tr.groups[p.group], it) {
+					condCounts[bi] += n.count
+				}
+				break // group heads sit directly below the root
+			}
+			if p.item >= 0 {
+				condCounts[p.item] += n.count
+			}
+		}
 	}
-	for _, child := range g.children {
-		collectSubtree(child, append(path, child.item), fn)
+	for _, gi := range tr.groupsWith(it) {
+		rest := restrict(tr.groups[gi], it)
+		for _, pe := range tr.paths(gi) {
+			for _, bi := range rest {
+				condCounts[bi] += pe.count
+			}
+			for _, bi := range restrict(pe.items, it) {
+				condCounts[bi] += pe.count
+			}
+		}
 	}
+	any := false
+	for _, c := range condCounts {
+		if c >= m.min {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+
+	// Pass B: build the conditional compressed tree from the same two
+	// sources, keeping only locally frequent items. The restriction of
+	// a group pattern becomes a group of the conditional tree. The tree
+	// and its nodes come from the scratch pools; conditional trees are
+	// strictly nested, so the arena mark/release reclaims the nodes as
+	// soon as the subtree is fully mined.
+	mk := m.arena.mark()
+	cond := m.getTree()
+	// All inserts sharing a source group yield the same restricted,
+	// filtered pattern, so the conditional group index is memoized per
+	// source group — no pattern hashing on the hot path.
+	if cap(m.giMap) < len(tr.groups) {
+		m.giMap = make([]int32, len(tr.groups))
+	}
+	giMap := m.giMap[:len(tr.groups)]
+	for i := range giMap {
+		giMap[i] = -2 // not computed
+	}
+	condGroup := func(srcGi int32) int32 {
+		if g := giMap[srcGi]; g != -2 {
+			return g
+		}
+		pbuf := m.pbuf[:0]
+		for _, bi := range restrict(tr.groups[srcGi], it) {
+			if condCounts[bi] >= m.min {
+				pbuf = append(pbuf, bi)
+			}
+		}
+		m.pbuf = pbuf
+		g := int32(-1)
+		if len(pbuf) > 0 {
+			g = cond.addGroupCopy(pbuf)
+		}
+		giMap[srcGi] = g
+		return g
+	}
+	insert := func(srcGi int32, tail []dataset.Item, count int) {
+		gi := int32(-1)
+		if srcGi >= 0 {
+			gi = condGroup(srcGi)
+		}
+		tbuf := m.tbuf[:0]
+		for _, bi := range tail {
+			if condCounts[bi] >= m.min {
+				tbuf = append(tbuf, bi)
+			}
+		}
+		m.tbuf = tbuf
+		if gi >= 0 || len(tbuf) > 0 {
+			cond.insert(gi, tbuf, count)
+		}
+	}
+	for n := tr.heads[it]; n != nil; n = n.next {
+		walkTail := m.walkTail[:0]
+		srcGi := int32(-1)
+		for p := n.parent; p != nil; p = p.parent {
+			if p.group >= 0 {
+				srcGi = p.group
+				break
+			}
+			if p.item >= 0 {
+				walkTail = append(walkTail, p.item)
+			}
+		}
+		m.walkTail = walkTail
+		if len(walkTail) > 0 || srcGi >= 0 {
+			// Climbing yields ascending rank, as insert expects.
+			insert(srcGi, walkTail, n.count)
+		}
+	}
+	for _, gi := range tr.groupsWith(it) {
+		for _, pe := range tr.paths(gi) {
+			tail := restrict(pe.items, it)
+			if len(tail) > 0 || len(tr.groups[gi]) > 0 {
+				insert(gi, tail, pe.count)
+			}
+		}
+	}
+	if len(cond.root.children) > 0 {
+		m.growth(cond, prefix)
+	}
+	m.putTree(cond)
+	m.arena.release(mk)
 }
 
 // restrict returns the items of sorted pattern strictly greater than it.
@@ -466,24 +732,23 @@ func (tr *tree) loneGroup() (int32, int) {
 	return -1, 0
 }
 
-// singleRealPath returns the unique root-to-leaf path when the tree is one
-// branch of real nodes only (root-first, descending rank), else nil.
-func (tr *tree) singleRealPath() ([]dataset.Item, []int) {
-	var items []dataset.Item
-	var counts []int
+// singleRealPath reports whether the tree is one branch of real nodes only,
+// returning the root-to-leaf path (root-first, descending rank) built into
+// the caller's buffers. The buffers are scribbled on even when ok is false.
+func (tr *tree) singleRealPath(items []dataset.Item, counts []int) ([]dataset.Item, []int, bool) {
 	cur := tr.root
 	for {
 		if len(cur.children) == 0 {
-			return items, counts
+			return items, counts, true
 		}
 		if len(cur.children) > 1 {
-			return nil, nil
+			return items, counts, false
 		}
 		for _, child := range cur.children {
 			cur = child
 		}
 		if cur.group >= 0 {
-			return nil, nil
+			return items, counts, false
 		}
 		items = append(items, cur.item)
 		counts = append(counts, cur.count)
@@ -497,7 +762,8 @@ func (m *ctx) enumerate(items []dataset.Item, support int, prefix []dataset.Item
 		panic("rpfptree: group enumeration over more than 62 items")
 	}
 	base := len(prefix)
-	buf := append([]dataset.Item(nil), prefix...)
+	buf := append(m.enumBuf[:0], prefix...)
+	defer func() { m.enumBuf = buf }()
 	for mask := uint64(1); mask < 1<<uint(n); mask++ {
 		// The enumeration can cover up to 2^62 patterns, so it must honor
 		// cancellation like the recursion proper.
@@ -525,7 +791,8 @@ func (m *ctx) enumeratePath(items []dataset.Item, counts []int, prefix []dataset
 		panic("rpfptree: single path longer than 62 items")
 	}
 	base := len(prefix)
-	buf := append([]dataset.Item(nil), prefix...)
+	buf := append(m.enumBuf[:0], prefix...)
+	defer func() { m.enumBuf = buf }()
 	for mask := uint64(1); mask < 1<<uint(n); mask++ {
 		if m.cancel.Check() != nil {
 			return

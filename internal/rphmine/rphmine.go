@@ -24,7 +24,7 @@ package rphmine
 
 import (
 	"context"
-	"sort"
+	"slices"
 
 	"gogreen/internal/core"
 	"gogreen/internal/dataset"
@@ -137,17 +137,35 @@ func (Miner) MineEncodedContext(c context.Context, blocks []core.Block, loose []
 	return cancel.Err()
 }
 
+// NewScratch implements the parallel wrapper's pooled-miner contract: the
+// returned value holds the engine's reusable working memory (arena, level
+// pool, decode and prefix buffers) and may be threaded through consecutive
+// MineEncodedScratch calls by a single goroutine.
+func (Miner) NewScratch() any { return &ctx{} }
+
+// MineEncodedScratch is MineEncodedContext mining through sc's recycled
+// buffers (sc must come from NewScratch). All calls reusing one scratch
+// should pass the same F-list; a width change resets the pooled tables.
+func (Miner) MineEncodedScratch(c context.Context, sc any, blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error {
+	cancel := mining.NewCanceller(c, 0)
+	if err := cancel.Err(); err != nil {
+		return err
+	}
+	if err := mineEncodedInto(sc.(*ctx), blocks, loose, flist, prefix, minCount, sink, cancel); err != nil {
+		return err
+	}
+	return cancel.Err()
+}
+
 func mineEncoded(blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink, cancel *mining.Canceller) error {
+	return mineEncodedInto(&ctx{}, blocks, loose, flist, prefix, minCount, sink, cancel)
+}
+
+func mineEncodedInto(m *ctx, blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink, cancel *mining.Canceller) error {
 	if minCount < 1 {
 		return mining.ErrBadMinSupport
 	}
-	m := &ctx{
-		flist:   flist,
-		min:     minCount,
-		sink:    sink,
-		decoded: make([]dataset.Item, flist.Len()),
-		cancel:  cancel,
-	}
+	m.reset(flist, minCount, sink, cancel)
 	// Build the RP-Struct arena: one copy of every suffix, tail, and loose
 	// tuple.
 	root := m.getLevel()
@@ -167,8 +185,9 @@ func mineEncoded(blocks []core.Block, loose [][]dataset.Item, flist *mining.FLis
 	for _, t := range loose {
 		root.loose = append(root.loose, put(t))
 	}
-	m.mine(root, append([]dataset.Item(nil), prefix...))
+	m.mine(root, append(m.prefix[:0], prefix...))
 	m.putLevel(root)
+	m.sink, m.cancel = nil, nil // do not retain per-call state past the call
 	return nil
 }
 
@@ -179,7 +198,37 @@ type ctx struct {
 	sink    mining.Sink
 	decoded []dataset.Item
 	pool    []*level
+	prefix  []dataset.Item // prefix scratch, reused across calls
+	enumBuf []dataset.Item // enumeration scratch, reused across calls
+	enumIts []dataset.Item
 	cancel  *mining.Canceller // nil when mining without a context
+}
+
+// reset rebinds the per-call fields, keeping the pooled buffers when the
+// F-list width is unchanged (the parallel steady path) and rebuilding them
+// otherwise.
+func (m *ctx) reset(flist *mining.FList, minCount int, sink mining.Sink, cancel *mining.Canceller) {
+	n := flist.Len()
+	if cap(m.decoded) < n {
+		m.decoded = make([]dataset.Item, n)
+		m.pool = nil // pooled levels are width-sized
+	} else {
+		m.decoded = m.decoded[:n]
+		for _, l := range m.pool {
+			if len(l.counts) < n {
+				m.pool = nil
+				break
+			}
+		}
+	}
+	if cap(m.prefix) < n+1 {
+		m.prefix = make([]dataset.Item, 0, n+1)
+	}
+	if cap(m.enumBuf) < n+1 {
+		m.enumBuf = make([]dataset.Item, 0, n+1)
+	}
+	m.arena = m.arena[:0]
+	m.flist, m.min, m.sink, m.cancel = flist, minCount, sink, cancel
 }
 
 func (m *ctx) getLevel() *level {
@@ -241,7 +290,7 @@ func (m *ctx) mine(lv *level, prefix []dataset.Item) {
 			bump(it, 1)
 		}
 	}
-	sort.Slice(lv.touched, func(i, j int) bool { return lv.touched[i] < lv.touched[j] })
+	slices.Sort(lv.touched)
 
 	nFreq := 0
 	for _, it := range lv.touched {
@@ -444,18 +493,19 @@ func (m *ctx) singleGroup(lv *level) *wg {
 // enumerate emits every combination of the frequent items at the given
 // support (Lemma 3.1).
 func (m *ctx) enumerate(lv *level, support int, prefix []dataset.Item) {
-	items := make([]dataset.Item, 0, 16)
+	items := m.enumIts[:0]
 	for _, it := range lv.touched {
 		if lv.counts[it] >= m.min {
 			items = append(items, it)
 		}
 	}
+	m.enumIts = items
 	n := len(items)
 	if n > 62 {
 		panic("rphmine: single-group enumeration over more than 62 items")
 	}
 	base := len(prefix)
-	buf := append([]dataset.Item(nil), prefix...)
+	buf := append(m.enumBuf[:0], prefix...)
 	for mask := uint64(1); mask < 1<<uint(n); mask++ {
 		// The enumeration can cover up to 2^62 patterns, so it must honor
 		// cancellation like the recursion proper.

@@ -78,19 +78,37 @@ func (Miner) MineEncodedContext(c context.Context, blocks []core.Block, loose []
 	return cancel.Err()
 }
 
+// NewScratch implements the parallel wrapper's pooled-miner contract: the
+// returned value holds the engine's reusable working memory (per-depth
+// counting tables, projection slabs, decode and prefix buffers) and may be
+// threaded through consecutive MineEncodedScratch calls by one goroutine.
+func (Miner) NewScratch() any { return &ctx{} }
+
+// MineEncodedScratch is MineEncodedContext mining through sc's recycled
+// buffers (sc must come from NewScratch). All calls reusing one scratch
+// should pass the same F-list; a width change resets the pooled tables.
+func (Miner) MineEncodedScratch(c context.Context, sc any, blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink) error {
+	cancel := mining.NewCanceller(c, 0)
+	if err := cancel.Err(); err != nil {
+		return err
+	}
+	if err := mineEncodedInto(sc.(*ctx), blocks, loose, flist, prefix, minCount, sink, cancel); err != nil {
+		return err
+	}
+	return cancel.Err()
+}
+
 func mineEncoded(blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink, cancel *mining.Canceller) error {
+	return mineEncodedInto(&ctx{}, blocks, loose, flist, prefix, minCount, sink, cancel)
+}
+
+func mineEncodedInto(m *ctx, blocks []core.Block, loose [][]dataset.Item, flist *mining.FList, prefix []dataset.Item, minCount int, sink mining.Sink, cancel *mining.Canceller) error {
 	if minCount < 1 {
 		return mining.ErrBadMinSupport
 	}
-	m := &ctx{
-		flist:   flist,
-		min:     minCount,
-		sink:    sink,
-		decoded: make([]dataset.Item, flist.Len()),
-		width:   flist.Len(),
-		cancel:  cancel,
-	}
-	m.node(blocks, loose, append([]dataset.Item(nil), prefix...))
+	m.reset(flist, minCount, sink, cancel)
+	m.node(blocks, loose, append(m.prefix[:0], prefix...))
+	m.sink, m.cancel = nil, nil
 	return nil
 }
 
@@ -101,7 +119,60 @@ type ctx struct {
 	decoded []dataset.Item
 	width   int
 	cancel  *mining.Canceller // nil when mining without a context
+	pool    []*tpLevel        // free per-depth counting tables
+	prefix  []dataset.Item    // prefix scratch, reused across calls
+	enumBuf []dataset.Item    // single-group enumeration scratch
 }
+
+// tpLevel is one tree depth's working set: extension counts, the local item
+// index, the triangular matrix, and the projection slab children are built
+// into. Levels are strictly nested (the walk is depth-first), so a small
+// free list recycles them without any lifetime bookkeeping.
+type tpLevel struct {
+	counts []int
+	pos    []int32
+	matrix []int
+	exts   []dataset.Item
+	sBuf   []int32
+	tBuf   []int32
+	proj   core.ProjScratch
+}
+
+// reset rebinds the per-call fields, keeping the pooled buffers when the
+// F-list width is unchanged (the parallel steady path) and rebuilding them
+// otherwise.
+func (m *ctx) reset(flist *mining.FList, minCount int, sink mining.Sink, cancel *mining.Canceller) {
+	n := flist.Len()
+	if cap(m.decoded) < n {
+		m.decoded = make([]dataset.Item, n)
+		m.pool = nil // pooled levels are width-sized
+	} else {
+		m.decoded = m.decoded[:n]
+		for _, lv := range m.pool {
+			if len(lv.counts) < n {
+				m.pool = nil
+				break
+			}
+		}
+	}
+	if cap(m.prefix) < n+1 {
+		m.prefix = make([]dataset.Item, 0, n+1)
+	}
+	m.width = n
+	m.flist, m.min, m.sink, m.cancel = flist, minCount, sink, cancel
+}
+
+func (m *ctx) getLevel() *tpLevel {
+	if n := len(m.pool); n > 0 {
+		lv := m.pool[n-1]
+		m.pool = m.pool[:n-1]
+		clear(lv.counts) // pos is fully re-filled per node; counts must start zero
+		return lv
+	}
+	return &tpLevel{counts: make([]int, m.width), pos: make([]int32, m.width)}
+}
+
+func (m *ctx) putLevel(lv *tpLevel) { m.pool = append(m.pool, lv) }
 
 func (m *ctx) emit(prefix []dataset.Item, support int) {
 	m.sink.Emit(m.flist.DecodeInto(m.decoded, prefix), support)
@@ -114,8 +185,10 @@ func (m *ctx) node(blocks []core.Block, loose [][]dataset.Item, prefix []dataset
 	if m.cancel.Check() != nil {
 		return
 	}
+	lv := m.getLevel()
+	defer m.putLevel(lv)
 	// One-item extension counts: block patterns once at block count.
-	counts := make([]int, m.width)
+	counts := lv.counts
 	for i := range blocks {
 		b := &blocks[i]
 		for _, it := range b.Suffix {
@@ -132,12 +205,13 @@ func (m *ctx) node(blocks []core.Block, loose [][]dataset.Item, prefix []dataset
 			counts[it]++
 		}
 	}
-	exts := make([]dataset.Item, 0, 32)
+	exts := lv.exts[:0]
 	for r := 0; r < m.width; r++ {
 		if counts[r] >= m.min {
 			exts = append(exts, dataset.Item(r))
 		}
 	}
+	lv.exts = exts
 	if len(exts) == 0 {
 		return
 	}
@@ -149,7 +223,7 @@ func (m *ctx) node(blocks []core.Block, loose [][]dataset.Item, prefix []dataset
 	}
 
 	k := len(exts)
-	pos := make([]int32, m.width)
+	pos := lv.pos
 	for i := range pos {
 		pos[i] = -1
 	}
@@ -160,8 +234,15 @@ func (m *ctx) node(blocks []core.Block, loose [][]dataset.Item, prefix []dataset
 	// Matrix counting over the compressed set: pattern×pattern pairs at
 	// block count, pattern×tail and tail×tail pairs per tail, loose pairs
 	// per tuple.
-	matrix := make([]int, k*k) // upper triangle (i < j)
-	var sBuf, tBuf []int32
+	matrix := lv.matrix // upper triangle (i < j)
+	if cap(matrix) < k*k {
+		matrix = make([]int, k*k)
+		lv.matrix = matrix
+	} else {
+		matrix = matrix[:k*k]
+		clear(matrix)
+	}
+	sBuf, tBuf := lv.sBuf[:0], lv.tBuf[:0]
 	addPairs := func(a, b []int32, sameSet bool, w int) {
 		for i := 0; i < len(a); i++ {
 			row := int(a[i]) * k
@@ -205,6 +286,7 @@ func (m *ctx) node(blocks []core.Block, loose [][]dataset.Item, prefix []dataset
 		tBuf = mapLocal(t, tBuf)
 		addPairs(tBuf, tBuf, true, 1)
 	}
+	lv.sBuf, lv.tBuf = sBuf, tBuf
 
 	prefix = append(prefix, 0)
 	for i, e := range exts {
@@ -224,7 +306,10 @@ func (m *ctx) node(blocks []core.Block, loose [][]dataset.Item, prefix []dataset
 		if nChild == 0 {
 			continue
 		}
-		childBlocks, childLoose := core.Project(blocks, loose, e)
+		// Project into this depth's slab: the child subtree is fully mined
+		// before the next sibling reuses the buffers, so the projection is
+		// live exactly as long as it is referenced.
+		childBlocks, childLoose := lv.proj.Project(blocks, loose, e)
 		if len(childBlocks) > 0 || len(childLoose) > 0 {
 			m.node(childBlocks, childLoose, prefix)
 		}
@@ -257,7 +342,8 @@ func (m *ctx) enumerate(items []dataset.Item, support int, prefix []dataset.Item
 		panic("rptreeproj: single-group enumeration over more than 62 items")
 	}
 	base := len(prefix)
-	buf := append([]dataset.Item(nil), prefix...)
+	buf := append(m.enumBuf[:0], prefix...)
+	defer func() { m.enumBuf = buf }()
 	for mask := uint64(1); mask < 1<<uint(n); mask++ {
 		// The enumeration can cover up to 2^62 patterns, so it must honor
 		// cancellation like the tree walk proper.
