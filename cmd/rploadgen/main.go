@@ -1,0 +1,149 @@
+// Command rploadgen is the load harness for the sharded mining service: it
+// simulates thousands of tenants firing Zipf-skewed mining traffic, sweeps
+// the engine shard count, and writes latency percentiles, shed rates, and
+// admission-control behavior to a BENCH_serve.json baseline — the serving
+// companion to rpbench's algorithm baselines.
+//
+//	rploadgen                         # full run: 10k tenants, shards 1,2,4,8
+//	rploadgen -quick                  # CI-sized smoke run
+//	rploadgen -tenants 2000 -requests 10000 -conc 16 -shards 1,4
+//	rploadgen -addr localhost:8080    # drive an already-running rpserved
+//
+// In the default in-process mode the harness builds the service per shard
+// count and drives its handler directly (no sockets), so measured latencies
+// are the service stack — router, admission, locks, lattice, mining — not
+// loopback noise. With -addr it instead targets a live server over real
+// HTTP and reports a single entry (configure shards and quotas on the
+// server, via rpserved's flags).
+//
+// The workload is deliberately cache-hostile: every tenant owns a small
+// database, the lattice budget is far below the working set, and tenant
+// selection is Zipf-skewed — so hot tenants are served from the lattice
+// while cold tenants force installs that pay eviction scans. The shard sweep
+// then shows how splitting the store (and the entry and queue locks) changes
+// the tail.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"gogreen/internal/bench"
+	"gogreen/internal/server"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "CI-sized smoke run")
+		out      = flag.String("out", "BENCH_serve.json", "output report path (\"-\" = stdout)")
+		tenants  = flag.Int("tenants", 0, "simulated tenant count (0 = mode default)")
+		requests = flag.Int("requests", 0, "mining requests per shard-grid point (0 = mode default)")
+		conc     = flag.Int("conc", 0, "concurrent client workers (0 = mode default)")
+		shards   = flag.String("shards", "", "comma-separated shard-count grid (default 1,2,4,8; quick 1,2)")
+		budgetKB = flag.Int64("cache-budget-kb", 0, "lattice budget in KiB (0 = mode default)")
+		addr     = flag.String("addr", "", "drive a running service at this host:port instead of in-process servers")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultServeConfig(*quick)
+	if *tenants > 0 {
+		cfg.Tenants = *tenants
+	}
+	if *requests > 0 {
+		cfg.Requests = *requests
+	}
+	if *conc > 0 {
+		cfg.Concurrency = *conc
+	}
+	if *budgetKB > 0 {
+		cfg.CacheBudget = *budgetKB << 10
+	}
+	if *shards != "" {
+		grid, err := parseShards(*shards)
+		if err != nil {
+			log.Fatalf("rploadgen: %v", err)
+		}
+		cfg.Shards = grid
+	}
+
+	progress := func(msg string) { fmt.Fprintln(os.Stderr, "rploadgen: "+msg) }
+	var (
+		rep bench.ServeReport
+		err error
+	)
+	if *addr != "" {
+		rep, err = bench.ServeExternal(cfg, httpDoer(*addr), progress)
+	} else {
+		rep, err = bench.ServePerf(cfg, progress)
+	}
+	if err != nil {
+		log.Fatalf("rploadgen: %v", err)
+	}
+
+	summarize(rep)
+	if *out == "-" {
+		os.Stdout.Write(rep.JSON())
+		return
+	}
+	if err := os.WriteFile(*out, rep.JSON(), 0o644); err != nil {
+		log.Fatalf("rploadgen: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "rploadgen: wrote %s\n", *out)
+}
+
+// parseShards parses the -shards grid.
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -shards entry %q (want positive integers)", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// httpDoer targets a live service over real HTTP.
+func httpDoer(addr string) func(method, path, tenant, body string) (int, error) {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return func(method, path, tenant, body string) (int, error) {
+		req, err := http.NewRequest(method, base+path, strings.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		if tenant != "" {
+			req.Header.Set(server.TenantHeader, tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+}
+
+// summarize prints a human-readable table of the run to stderr.
+func summarize(rep bench.ServeReport) {
+	fmt.Fprintf(os.Stderr, "\n%-16s %7s %9s %9s %9s %9s %9s %7s\n",
+		"phase", "shards", "p50 ms", "p90 ms", "p99 ms", "req/s", "shed", "hits")
+	for _, e := range rep.Entries {
+		fmt.Fprintf(os.Stderr, "%-16s %7d %9.3f %9.3f %9.3f %9.0f %8.1f%% %7d\n",
+			e.Phase, e.Shards, e.P50Ms, e.P90Ms, e.P99Ms, e.ReqPerSec, e.ShedRate*100, e.CacheHits)
+	}
+	if rep.Warning != "" {
+		fmt.Fprintln(os.Stderr, "warning: "+rep.Warning)
+	}
+	fmt.Fprintln(os.Stderr)
+}

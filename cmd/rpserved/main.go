@@ -5,6 +5,14 @@
 //
 //	rpserved -addr :8080 -mine-timeout 30s -workers 4 -queue 64
 //
+// The service scales horizontally in-process: -shards N puts a consistent-
+// hashing router in front of N engine shards, each owning its own database
+// map, job pool, and lattice store slice (GET /shards reports per-shard
+// occupancy). Tenants identify themselves with the X-Tenant request header;
+// -tenant-max-dbs, -tenant-max-jobs, and -tenant-max-pattern-mb bound what
+// one tenant may hold — over-quota requests get 429 with a Retry-After
+// header instead of degrading everyone else. All three default to unlimited.
+//
 // Walkthrough with curl:
 //
 //	gendata -dataset weather -scale 0.01 -out w.basket
@@ -48,6 +56,7 @@ import (
 	"time"
 
 	"gogreen/internal/server"
+	"gogreen/internal/shard"
 )
 
 func main() {
@@ -58,6 +67,10 @@ func main() {
 		workers     = flag.Int("workers", 0, "async mining workers (0 = NumCPU)")
 		mineWorkers = flag.Int("mine-workers", 0, "worker pool per mining run (0 = serial, -1 = GOMAXPROCS)")
 		queue       = flag.Int("queue", 64, "async job queue depth")
+		shards      = flag.Int("shards", 1, "engine shard count (databases are routed by consistent hashing)")
+		maxDBs      = flag.Int("tenant-max-dbs", 0, "per-tenant resident database quota (0 = unlimited)")
+		maxJobs     = flag.Int("tenant-max-jobs", 0, "per-tenant queued async job quota (0 = unlimited)")
+		maxPatMB    = flag.Int64("tenant-max-pattern-mb", 0, "per-tenant saved-pattern budget in MiB (0 = unlimited)")
 		latticeOn   = flag.Bool("lattice", true, "serve repeated thresholds from the materialized threshold lattice")
 		cacheMB     = flag.Int64("cache-budget-mb", 0, "lattice cache budget in MiB (0 = default 64)")
 		rungs       = flag.String("lattice-rungs", "", "comma-separated relative thresholds to snap lattice installs to (e.g. 0.5,0.2,0.1)")
@@ -76,6 +89,12 @@ func main() {
 		server.WithWorkers(*workers),
 		server.WithMineWorkers(*mineWorkers),
 		server.WithQueueDepth(*queue),
+		server.WithShards(*shards),
+		server.WithQuotas(shard.Quotas{
+			MaxDBs:          *maxDBs,
+			MaxQueuedJobs:   *maxJobs,
+			MaxPatternBytes: *maxPatMB << 20,
+		}),
 		server.WithLattice(*latticeOn),
 		server.WithLatticeRungs(grid),
 		server.WithCacheBudget(*cacheMB<<20),

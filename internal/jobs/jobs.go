@@ -101,6 +101,7 @@ func (j *Job) Snapshot() Snapshot {
 // Manager runs jobs on a fixed pool of workers over a bounded queue.
 type Manager struct {
 	queue   chan *Job
+	prefix  string
 	baseCtx context.Context
 	stop    context.CancelFunc
 
@@ -120,7 +121,13 @@ type Manager struct {
 // (both forced to at least 1). Completed jobs are retained for polling;
 // once more than retain (default 1024) jobs exist, the oldest finished
 // ones are evicted.
-func New(workers, queueCap int) *Manager {
+func New(workers, queueCap int) *Manager { return NewPrefixed("", workers, queueCap) }
+
+// NewPrefixed is New with a job-id prefix: ids become "<prefix>j<seq>".
+// Callers running several managers side by side (one per engine shard) give
+// each a distinct prefix so ids stay globally unique and self-describing; an
+// empty prefix keeps the classic "j<seq>" form.
+func NewPrefixed(prefix string, workers, queueCap int) *Manager {
 	if workers < 1 {
 		workers = 1
 	}
@@ -130,6 +137,7 @@ func New(workers, queueCap int) *Manager {
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		queue:   make(chan *Job, queueCap),
+		prefix:  prefix,
 		baseCtx: ctx,
 		stop:    stop,
 		jobs:    map[string]*Job{},
@@ -152,7 +160,7 @@ func (m *Manager) Submit(fn Fn) (*Job, error) {
 	}
 	m.seq++
 	j := &Job{
-		id:      fmt.Sprintf("j%d", m.seq),
+		id:      fmt.Sprintf("%sj%d", m.prefix, m.seq),
 		fn:      fn,
 		status:  StatusQueued,
 		created: time.Now(),

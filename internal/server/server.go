@@ -27,15 +27,33 @@
 //     recycled source mix, compression ratios, queue depth and in-flight
 //     requests.
 //
+// The service is horizontally sharded in-process (WithShards): a
+// consistent-hashing router (internal/shard.Ring, keyed on database id)
+// fronts N engine shards, each exclusively owning its own database map and
+// lock, async job pool, lattice store slice, and per-shard metrics — there
+// is no global entry lock, so traffic on one shard never contends with
+// another's. The router speaks the same HTTP API at any shard count, which
+// is what makes a later multi-process deployment configuration, not code.
+//
+// Multi-tenant admission control (WithQuotas) bounds what one tenant — the
+// X-Tenant request header, "default" when absent — may hold: resident
+// databases, queued async jobs, and saved-pattern bytes (metered with
+// memlimit's cost model). Over-quota requests are rejected at the door with
+// 429, a machine-readable body (code "tenant_quota") and a Retry-After
+// header, before any shard does work, so one tenant's excess cannot degrade
+// another's latency.
+//
 // Mining requests are served through the materialized threshold lattice
 // (internal/lattice, on by default, see WithLattice): every mined result is
 // installed as a rung of the database's threshold ladder, and later requests
 // at any threshold are answered by pure-filtering the nearest rung below or
-// relax-mining from the nearest rung above, under one LRU byte budget across
-// all databases. The lattice is inspectable and invalidatable over HTTP.
+// relax-mining from the nearest rung above. Each shard owns a private store
+// covering its databases — one slice of the configured byte budget — so
+// install-time LRU eviction scans only that shard's rungs. The lattice is
+// inspectable and invalidatable over HTTP.
 //
 //	PUT    /db/{id}                 upload basket data (numeric ids)
-//	GET    /db                      list databases
+//	GET    /db                      list databases (all shards)
 //	GET    /db/{id}                 database stats
 //	DELETE /db/{id}                 drop a database
 //	POST   /db/{id}/mine            run one mining round (see MineRequest);
@@ -44,9 +62,10 @@
 //	GET    /db/{id}/patterns/{name} fetch one saved set
 //	GET    /db/{id}/lattice         cached threshold ladder (rungs, hits)
 //	DELETE /db/{id}/lattice         invalidate the cached ladder
-//	GET    /jobs                    list async jobs
+//	GET    /jobs                    list async jobs (all shards)
 //	GET    /jobs/{id}               poll one job
 //	DELETE /jobs/{id}               cancel one job
+//	GET    /shards                  per-shard occupancy and queue stats
 //	GET    /metrics                 metrics snapshot (JSON)
 package server
 
@@ -58,6 +77,7 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -66,34 +86,46 @@ import (
 	"gogreen/internal/engine"
 	"gogreen/internal/jobs"
 	"gogreen/internal/lattice"
+	"gogreen/internal/memlimit"
 	"gogreen/internal/metrics"
 	"gogreen/internal/mining"
+	"gogreen/internal/shard"
 )
 
-// Server is the service state. Safe for concurrent use.
+// TenantHeader names the request header carrying the tenant id; requests
+// without it belong to DefaultTenant.
+const TenantHeader = "X-Tenant"
+
+// DefaultTenant is the tenant id of requests that carry no TenantHeader.
+const DefaultTenant = "default"
+
+// Server is the service state: the shard router, the per-tenant admission
+// governor, and N engine shards. Safe for concurrent use.
 type Server struct {
-	mu      sync.RWMutex
-	dbs     map[string]*entry
 	maxBody int64
 
 	mineTimeout time.Duration
-	jobs        *jobs.Manager
 	workers     int
 	queueCap    int
 
 	compressWorkers int
 	mineWorkers     int
 
-	// cache configures the threshold lattice (enabled by default); store is
-	// the server's lattice store, nil when the lattice is disabled. Ladders
-	// are keyed by *dataset.DB identity, so replacing a database can never
-	// serve stale rungs even while a mine of the old content is in flight.
+	// cache configures the threshold lattice (enabled by default). Each
+	// shard carves its own store out of the configured byte budget.
 	cache engine.CacheConfig
-	store *lattice.Store
 
-	// pipe is the engine pipeline every mining run goes through; its
-	// observer is the metrics bundle.
-	pipe engine.Pipeline
+	// nshards is the engine shard count; ring routes database ids onto
+	// [0, nshards) by consistent hashing, so the same id always lands on the
+	// same shard across restarts.
+	nshards int
+	ring    *shard.Ring
+	shards  []*engineShard
+
+	// quotas/gov is the per-tenant admission controller; zero quotas admit
+	// everything.
+	quotas shard.Quotas
+	gov    *shard.Governor
 
 	reg *metrics.Registry
 	met *serverMetrics
@@ -104,22 +136,47 @@ type Server struct {
 	mineHook func()
 }
 
+// engineShard is one in-process engine shard. A shard exclusively owns its
+// database map and lock, its async job pool, and its lattice store slice —
+// no structure here is reachable from another shard, which is the invariant
+// that makes cross-shard lock contention impossible: a request touches
+// exactly the one shard its database id hashes to.
+type engineShard struct {
+	id  int
+	srv *Server
+
+	mu  sync.RWMutex
+	dbs map[string]*entry
+
+	jobs  *jobs.Manager
+	store *lattice.Store
+
+	// pipe is the engine pipeline this shard's mining runs go through; its
+	// observer is the server-wide metrics bundle (metrics objects are
+	// concurrency-safe, so sharing them is not a contention point).
+	pipe engine.Pipeline
+}
+
 // entry is one uploaded database and its saved pattern sets. version is
 // bumped whenever the database content is replaced; mining results are only
-// saved when the database they were mined from is still current.
+// saved when the database they were mined from is still current. owner is
+// the tenant whose quotas the database and its saved sets count against.
 type entry struct {
 	mu      sync.Mutex
 	db      *dataset.DB
 	stats   dataset.Stats
 	sets    map[string]*savedSet
 	version int64
+	owner   string
 }
 
 // savedSet is one saved mining result. The patterns slice is immutable once
-// stored, so it can be snapshotted out of the lock and shared.
+// stored, so it can be snapshotted out of the lock and shared; bytes is its
+// metered footprint (memlimit's cost model) for tenant accounting.
 type savedSet struct {
 	patterns []mining.Pattern
 	minCount int
+	bytes    int64
 	saved    time.Time
 }
 
@@ -133,7 +190,8 @@ func WithMaxBodyBytes(n int64) Option { return func(s *Server) { s.maxBody = n }
 // limit). Expired runs abort cooperatively and report 503 / a failed job.
 func WithMineTimeout(d time.Duration) Option { return func(s *Server) { s.mineTimeout = d } }
 
-// WithWorkers sets the async worker pool size (default: NumCPU).
+// WithWorkers sets the async worker pool size (default: NumCPU), divided
+// across the shards' job pools (each shard gets at least one worker).
 // Non-positive values keep the default.
 func WithWorkers(n int) Option {
 	return func(s *Server) {
@@ -143,7 +201,8 @@ func WithWorkers(n int) Option {
 	}
 }
 
-// WithQueueDepth bounds the async job queue (default 64). A full queue
+// WithQueueDepth bounds the async job queue (default 64), divided across the
+// shards' pools (each shard gets at least one slot). A full shard queue
 // rejects new jobs with 429 — the service's load-shedding point.
 // Non-positive values keep the default.
 func WithQueueDepth(n int) Option {
@@ -153,6 +212,25 @@ func WithQueueDepth(n int) Option {
 		}
 	}
 }
+
+// WithShards sets the engine shard count (default 1). Database ids are
+// routed by consistent hashing, so an id's shard is stable across restarts
+// at a fixed count; changing the count re-homes ≈ 1/N of ids (see
+// internal/shard.Ring). Shards hold only derived state — caches, queues,
+// metrics — so re-homing costs warm-up, not correctness. Non-positive
+// values keep the default.
+func WithShards(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.nshards = n
+		}
+	}
+}
+
+// WithQuotas bounds per-tenant consumption (see shard.Quotas); the zero
+// value admits everything. Over-quota requests get 429 with a Retry-After
+// header before any shard does work.
+func WithQuotas(q shard.Quotas) Option { return func(s *Server) { s.quotas = q } }
 
 // WithCompressWorkers sets the worker count of the sharded compression step
 // on the recycled mine path (default: GOMAXPROCS). Output is byte-identical
@@ -188,8 +266,9 @@ func WithLatticeRungs(rungs []float64) Option {
 	return func(s *Server) { engine.WithLatticeRungs(rungs)(&s.cache) }
 }
 
-// WithCacheBudget caps the lattice store's resident bytes across all
-// databases (default 64 MiB), metered with memlimit's cost model.
+// WithCacheBudget caps the lattice stores' total resident bytes across all
+// databases (default 64 MiB), metered with memlimit's cost model and divided
+// evenly across the shards' private stores.
 func WithCacheBudget(bytes int64) Option {
 	return func(s *Server) { engine.WithCacheBudget(bytes)(&s.cache) }
 }
@@ -197,10 +276,10 @@ func WithCacheBudget(bytes int64) Option {
 // New returns an empty server.
 func New(opts ...Option) *Server {
 	s := &Server{
-		dbs:             map[string]*entry{},
 		maxBody:         64 << 20,
 		workers:         runtime.NumCPU(),
 		queueCap:        64,
+		nshards:         1,
 		compressWorkers: runtime.GOMAXPROCS(0),
 		cache:           engine.CacheConfig{Enabled: true},
 	}
@@ -210,22 +289,98 @@ func New(opts ...Option) *Server {
 	if s.reg == nil {
 		s.reg = metrics.NewRegistry()
 	}
-	s.jobs = jobs.New(s.workers, s.queueCap)
-	s.met = newServerMetrics(s.reg, s.jobs)
+	s.ring = shard.New(s.nshards)
+	s.gov = shard.NewGovernor(s.quotas)
+	s.met = newServerMetrics(s.reg)
 	s.met.compressWorkers.Set(int64(s.compressWorkers))
 	s.met.mineWorkers.Set(int64(effectiveMineWorkers(s.mineWorkers)))
-	s.store = s.cache.NewStore()
-	if s.store != nil {
-		s.reg.GaugeFunc("lattice_rungs", func() int64 { return int64(s.store.Rungs()) })
-		s.reg.GaugeFunc("lattice_bytes", s.store.Bytes)
+	s.met.shardCount.Set(int64(s.nshards))
+
+	// The worker-pool and cache-budget envelopes are server-wide: each shard
+	// gets an even slice (with a floor of one worker/slot), so raising the
+	// shard count re-partitions resources instead of multiplying them.
+	perWorkers := ceilDiv(s.workers, s.nshards)
+	perQueue := ceilDiv(s.queueCap, s.nshards)
+	var perBudget int64
+	if s.cache.Enabled {
+		perBudget = s.cache.ResolveBudget() / int64(s.nshards)
+		if perBudget < 1 {
+			perBudget = 1
+		}
 	}
-	s.pipe = engine.Pipeline{
-		CompressWorkers: s.compressWorkers,
-		MineWorkers:     s.mineWorkers,
-		Observer:        s.met,
-		CacheRungs:      s.cache.Rungs,
+	s.shards = make([]*engineShard, s.nshards)
+	for i := range s.shards {
+		prefix := ""
+		if s.nshards > 1 {
+			prefix = fmt.Sprintf("s%d-", i)
+		}
+		sh := &engineShard{
+			id:   i,
+			srv:  s,
+			dbs:  map[string]*entry{},
+			jobs: jobs.NewPrefixed(prefix, perWorkers, perQueue),
+		}
+		if s.cache.Enabled {
+			sh.store = lattice.NewStore(perBudget)
+		}
+		sh.pipe = engine.Pipeline{
+			CompressWorkers: s.compressWorkers,
+			MineWorkers:     s.mineWorkers,
+			Observer:        s.met,
+			CacheRungs:      s.cache.Rungs,
+		}
+		s.shards[i] = sh
+		i := i
+		s.reg.GaugeFunc(fmt.Sprintf("shard.%d.dbs", i), func() int64 {
+			return int64(s.shards[i].dbCount())
+		})
+		s.reg.GaugeFunc(fmt.Sprintf("shard.%d.queue_depth", i), func() int64 {
+			return int64(s.shards[i].jobs.Depth())
+		})
+	}
+
+	// The classic aggregate gauges sum over the shards, so dashboards built
+	// against the single-shard service keep reading true totals.
+	s.reg.GaugeFunc("jobs.queue_depth", func() int64 {
+		var n int64
+		for _, sh := range s.shards {
+			n += int64(sh.jobs.Depth())
+		}
+		return n
+	})
+	s.reg.GaugeFunc("jobs.running", func() int64 {
+		var n int64
+		for _, sh := range s.shards {
+			n += int64(sh.jobs.Running())
+		}
+		return n
+	})
+	if s.cache.Enabled {
+		s.reg.GaugeFunc("lattice_rungs", func() int64 {
+			var n int64
+			for _, sh := range s.shards {
+				n += int64(sh.store.Rungs())
+			}
+			return n
+		})
+		s.reg.GaugeFunc("lattice_bytes", func() int64 {
+			var n int64
+			for _, sh := range s.shards {
+				n += sh.store.Bytes()
+			}
+			return n
+		})
 	}
 	return s
+}
+
+// ceilDiv is ⌈a/b⌉ with a floor of 1.
+func ceilDiv(a, b int) int {
+	n := (a + b - 1) / b
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // effectiveMineWorkers reports the goroutine count the mining phase will
@@ -243,9 +398,25 @@ func effectiveMineWorkers(n int) int {
 // Registry returns the server's metrics registry.
 func (s *Server) Registry() *metrics.Registry { return s.reg }
 
-// Shutdown drains the async job queue (bounded by ctx) and releases the
-// worker pool. The HTTP listener is the caller's to stop.
-func (s *Server) Shutdown(ctx context.Context) error { return s.jobs.Shutdown(ctx) }
+// ShardFor returns the shard index owning the database id — exposed so
+// operators and tests can verify placement.
+func (s *Server) ShardFor(id string) int { return s.ring.Owner(id) }
+
+// Shutdown drains every shard's async job queue (bounded by ctx) and
+// releases the worker pools. The HTTP listener is the caller's to stop.
+func (s *Server) Shutdown(ctx context.Context) error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *engineShard) {
+			defer wg.Done()
+			errs[i] = sh.jobs.Shutdown(ctx)
+		}(i, sh)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
 
 // route is one registered endpoint. The table drives both Handler and
 // Routes, so the documented surface cannot drift from the served one.
@@ -269,6 +440,7 @@ func (s *Server) routes() []route {
 		{"GET /jobs", s.handleJobList},
 		{"GET /jobs/{id}", s.handleJobGet},
 		{"DELETE /jobs/{id}", s.handleJobCancel},
+		{"GET /shards", s.handleShards},
 		{"GET /metrics", s.reg.Handler().ServeHTTP},
 	}
 }
@@ -305,7 +477,7 @@ type serverMetrics struct {
 	inFlight  *metrics.Gauge
 
 	// compressSecs times phase one (compression) of recycled mines;
-	// compressWorkers reports the configured shard count.
+	// compressWorkers reports the configured shard count of that phase.
 	compressSecs    *metrics.Histogram
 	compressWorkers *metrics.Gauge
 	// mineWorkers reports the effective mining-phase goroutine count
@@ -314,10 +486,16 @@ type serverMetrics struct {
 	submitted   *metrics.Counter
 	rejected    *metrics.Counter
 	killed      *metrics.Counter
+
+	// shardCount reports the engine shard count; tenantRejected counts
+	// admission-control 429s (per-resource splits ride under
+	// tenant_rejected.<resource>).
+	shardCount     *metrics.Gauge
+	tenantRejected *metrics.Counter
 }
 
-func newServerMetrics(reg *metrics.Registry, jm *jobs.Manager) *serverMetrics {
-	m := &serverMetrics{
+func newServerMetrics(reg *metrics.Registry) *serverMetrics {
+	return &serverMetrics{
 		reg:       reg,
 		total:     reg.Counter("mine.requests.total"),
 		errored:   reg.Counter("mine.requests.errors"),
@@ -332,10 +510,10 @@ func newServerMetrics(reg *metrics.Registry, jm *jobs.Manager) *serverMetrics {
 		submitted:       reg.Counter("jobs.submitted"),
 		rejected:        reg.Counter("jobs.rejected"),
 		killed:          reg.Counter("jobs.cancelled"),
+
+		shardCount:     reg.Gauge("shard_count"),
+		tenantRejected: reg.Counter("tenant_rejected_total"),
 	}
-	reg.GaugeFunc("jobs.queue_depth", func() int64 { return int64(jm.Depth()) })
-	reg.GaugeFunc("jobs.running", func() int64 { return int64(jm.Running()) })
-	return m
 }
 
 // observe records one finished mining run. algo is the canonical registry
@@ -347,6 +525,12 @@ func (m *serverMetrics) observe(source mining.Source, algo string, elapsed time.
 	m.reg.Counter("mine.source." + string(source)).Inc()
 	m.reg.Counter("mine.algo." + algo).Inc()
 	m.latency.Observe(float64(elapsed.Microseconds()) / 1000)
+}
+
+// observeQuotaRejection counts one admission-control rejection.
+func (m *serverMetrics) observeQuotaRejection(resource string) {
+	m.tenantRejected.Inc()
+	m.reg.Counter("tenant_rejected." + resource).Inc()
 }
 
 // OnPhaseStart implements engine.PhaseObserver.
@@ -381,6 +565,16 @@ type DBInfo struct {
 	AvgLen   float64 `json:"avg_len"`
 	NumItems int     `json:"num_items"`
 	Sets     int     `json:"saved_sets"`
+}
+
+// ShardInfo describes one engine shard in GET /shards responses.
+type ShardInfo struct {
+	Shard        int   `json:"shard"`
+	DBs          int   `json:"dbs"`
+	QueueDepth   int   `json:"queue_depth"`
+	Running      int   `json:"running"`
+	LatticeRungs int   `json:"lattice_rungs,omitempty"`
+	LatticeBytes int64 `json:"lattice_bytes,omitempty"`
 }
 
 // MineRequest is the body of POST /db/{id}/mine.
@@ -426,10 +620,14 @@ type MineResponse struct {
 }
 
 // apiError is the structured error body. Code is machine-readable:
-// "deadline" and "cancelled" accompany 503, "queue_full" 429.
+// "deadline" and "cancelled" accompany 503, "queue_full" and "tenant_quota"
+// 429 (quota rejections also name the exhausted Resource and the Tenant, and
+// carry a Retry-After response header).
 type apiError struct {
-	Error string `json:"error"`
-	Code  string `json:"code,omitempty"`
+	Error    string `json:"error"`
+	Code     string `json:"code,omitempty"`
+	Tenant   string `json:"tenant,omitempty"`
+	Resource string `json:"resource,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -446,35 +644,110 @@ func failCode(w http.ResponseWriter, status int, code, format string, args ...an
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
-func (s *Server) get(id string) (*entry, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.dbs[id]
-	return e, ok
+// failQuota maps an admission rejection onto the 429 contract: code
+// "tenant_quota", the exhausted resource in the body, and the governor's
+// backoff hint as a Retry-After header (whole seconds, rounded up).
+func (s *Server) failQuota(w http.ResponseWriter, qe *shard.QuotaError) {
+	s.met.observeQuotaRejection(qe.Resource)
+	secs := int64(qe.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, http.StatusTooManyRequests, apiError{
+		Error: qe.Error(), Code: "tenant_quota", Tenant: qe.Tenant, Resource: qe.Resource})
+}
+
+// tenantOf extracts the request's tenant id; the empty header is
+// DefaultTenant, an invalid one is rejected like a bad database id.
+func tenantOf(r *http.Request) (string, error) {
+	t := r.Header.Get(TenantHeader)
+	if t == "" {
+		return DefaultTenant, nil
+	}
+	if !validName(t) {
+		return "", fmt.Errorf("bad %s %q", TenantHeader, t)
+	}
+	return t, nil
+}
+
+// shardFor returns the engine shard owning the database id.
+func (s *Server) shardFor(id string) *engineShard { return s.shards[s.ring.Owner(id)] }
+
+// get resolves a database id to its shard and entry.
+func (s *Server) get(id string) (*engineShard, *entry, bool) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.dbs[id]
+	return sh, e, ok
+}
+
+// dbCount returns the shard's resident database count.
+func (sh *engineShard) dbCount() int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.dbs)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	infos := make([]DBInfo, 0, len(s.dbs))
-	for id, e := range s.dbs {
-		infos = append(infos, s.info(id, e))
+	var infos []DBInfo
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		ids := make([]string, 0, len(sh.dbs))
+		entries := make([]*entry, 0, len(sh.dbs))
+		for id, e := range sh.dbs {
+			ids = append(ids, id)
+			entries = append(entries, e)
+		}
+		sh.mu.RUnlock()
+		// Per-entry stats are read outside the shard lock: entry locks are
+		// not nested inside shard locks anywhere, and a racing delete just
+		// yields a last-moment snapshot.
+		for i, id := range ids {
+			infos = append(infos, info(id, entries[i]))
+		}
 	}
-	s.mu.RUnlock()
+	if infos == nil {
+		infos = []DBInfo{}
+	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
 	writeJSON(w, http.StatusOK, infos)
 }
 
-func (s *Server) info(id string, e *entry) DBInfo {
+func info(id string, e *entry) DBInfo {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return DBInfo{ID: id, Tuples: e.stats.NumTx, AvgLen: e.stats.AvgLen,
 		NumItems: e.stats.NumItems, Sets: len(e.sets)}
 }
 
+func (s *Server) handleShards(w http.ResponseWriter, _ *http.Request) {
+	infos := make([]ShardInfo, len(s.shards))
+	for i, sh := range s.shards {
+		infos[i] = ShardInfo{
+			Shard:      sh.id,
+			DBs:        sh.dbCount(),
+			QueueDepth: sh.jobs.Depth(),
+			Running:    sh.jobs.Running(),
+		}
+		if sh.store != nil {
+			infos[i].LatticeRungs = sh.store.Rungs()
+			infos[i].LatticeBytes = sh.store.Bytes()
+		}
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
 func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !validName(id) {
 		fail(w, http.StatusBadRequest, "bad database id %q", id)
+		return
+	}
+	tenant, err := tenantOf(r)
+	if err != nil {
+		fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	db, err := dataset.ReadBasketIDs(http.MaxBytesReader(w, r.Body, s.maxBody))
@@ -491,67 +764,110 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, "empty database")
 		return
 	}
-	s.mu.Lock()
-	e, existed := s.dbs[id]
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	e, existed := sh.dbs[id]
 	if !existed {
-		e = &entry{sets: map[string]*savedSet{}}
-		s.dbs[id] = e
+		// Admission: a brand-new database consumes one of the tenant's DB
+		// slots; acquire it before the id becomes visible. The governor has
+		// its own lock and never takes shard locks, so the nesting is safe.
+		if err := s.gov.AcquireDB(tenant); err != nil {
+			sh.mu.Unlock()
+			var qe *shard.QuotaError
+			errors.As(err, &qe)
+			s.failQuota(w, qe)
+			return
+		}
+		e = &entry{sets: map[string]*savedSet{}, owner: tenant}
+		sh.dbs[id] = e
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
+
 	e.mu.Lock()
+	if existed && e.owner != tenant {
+		// Replacing another tenant's database transfers ownership (tenants
+		// are accounting domains, not an authorization boundary): the new
+		// owner needs a free DB slot before the old one's is released.
+		if err := s.gov.AcquireDB(tenant); err != nil {
+			e.mu.Unlock()
+			var qe *shard.QuotaError
+			errors.As(err, &qe)
+			s.failQuota(w, qe)
+			return
+		}
+		s.gov.ReleaseDB(e.owner)
+	}
+	oldOwner, oldBytes := e.owner, setBytes(e.sets)
 	old := e.db
 	e.db, e.stats = db, db.Stats()
 	e.sets = map[string]*savedSet{}
+	e.owner = tenant
 	e.version++
 	e.mu.Unlock()
+	s.gov.AddPatternBytes(oldOwner, -oldBytes)
 	// The replaced database's ladder is unreachable (identity-keyed); drop
 	// it now instead of waiting for LRU aging to reclaim the budget.
-	if s.store != nil && old != nil {
-		s.store.Invalidate(old)
+	if sh.store != nil && old != nil {
+		sh.store.Invalidate(old)
 	}
 	status := http.StatusCreated
 	if existed {
 		status = http.StatusOK
 	}
-	writeJSON(w, status, s.info(id, e))
+	writeJSON(w, status, info(id, e))
+}
+
+// setBytes sums the metered footprint of every saved set; caller holds e.mu.
+func setBytes(sets map[string]*savedSet) int64 {
+	var n int64
+	for _, set := range sets {
+		n += set.bytes
+	}
+	return n
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	e, ok := s.get(id)
+	_, e, ok := s.get(id)
 	if !ok {
 		fail(w, http.StatusNotFound, "no database %q", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.info(id, e))
+	writeJSON(w, http.StatusOK, info(id, e))
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	e, ok := s.dbs[id]
-	delete(s.dbs, id)
-	s.mu.Unlock()
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	e, ok := sh.dbs[id]
+	delete(sh.dbs, id)
+	sh.mu.Unlock()
 	if !ok {
 		fail(w, http.StatusNotFound, "no database %q", id)
 		return
 	}
-	if s.store != nil {
-		e.mu.Lock()
-		old := e.db
-		e.mu.Unlock()
-		s.store.Invalidate(old)
+	e.mu.Lock()
+	owner, bytes := e.owner, setBytes(e.sets)
+	old := e.db
+	e.mu.Unlock()
+	s.gov.ReleaseDB(owner)
+	s.gov.AddPatternBytes(owner, -bytes)
+	if sh.store != nil {
+		sh.store.Invalidate(old)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 // LatticeInfo is the response of GET /db/{id}/lattice: the database's
-// cached threshold ladder plus the shared store's budget accounting.
+// cached threshold ladder plus its shard's store budget accounting.
 type LatticeInfo struct {
 	ID      string `json:"id"`
 	Enabled bool   `json:"enabled"`
-	// BudgetBytes and StoreBytes describe the store shared by all
-	// databases; Rungs lists only this database's ladder.
+	// Shard is the engine shard owning the database (and the store below).
+	Shard int `json:"shard"`
+	// BudgetBytes and StoreBytes describe the owning shard's store slice;
+	// Rungs lists only this database's ladder.
 	BudgetBytes int64              `json:"budget_bytes,omitempty"`
 	StoreBytes  int64              `json:"store_bytes,omitempty"`
 	Rungs       []lattice.RungInfo `json:"rungs"`
@@ -559,20 +875,20 @@ type LatticeInfo struct {
 
 func (s *Server) handleLatticeGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	e, ok := s.get(id)
+	sh, e, ok := s.get(id)
 	if !ok {
 		fail(w, http.StatusNotFound, "no database %q", id)
 		return
 	}
-	info := LatticeInfo{ID: id, Rungs: []lattice.RungInfo{}}
-	if s.store != nil {
+	info := LatticeInfo{ID: id, Shard: sh.id, Rungs: []lattice.RungInfo{}}
+	if sh.store != nil {
 		info.Enabled = true
-		info.BudgetBytes = s.store.Budget()
-		info.StoreBytes = s.store.Bytes()
+		info.BudgetBytes = sh.store.Budget()
+		info.StoreBytes = sh.store.Bytes()
 		e.mu.Lock()
 		db := e.db
 		e.mu.Unlock()
-		if rungs := s.store.Cache(db).Rungs(); len(rungs) > 0 {
+		if rungs := sh.store.Cache(db).Rungs(); len(rungs) > 0 {
 			info.Rungs = rungs
 		}
 	}
@@ -581,25 +897,30 @@ func (s *Server) handleLatticeGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleLatticeDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	e, ok := s.get(id)
+	sh, e, ok := s.get(id)
 	if !ok {
 		fail(w, http.StatusNotFound, "no database %q", id)
 		return
 	}
-	if s.store != nil {
+	if sh.store != nil {
 		e.mu.Lock()
 		db := e.db
 		e.mu.Unlock()
-		s.store.Invalidate(db)
+		sh.store.Invalidate(db)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	e, ok := s.get(id)
+	sh, e, ok := s.get(id)
 	if !ok {
 		fail(w, http.StatusNotFound, "no database %q", id)
+		return
+	}
+	tenant, err := tenantOf(r)
+	if err != nil {
+		fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	var req MineRequest
@@ -609,6 +930,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	}
 	e.mu.Lock()
 	numTx := e.stats.NumTx
+	owner := e.owner
 	e.mu.Unlock()
 	min, err := engine.Threshold{Count: req.MinCount, Support: req.MinSupport}.Resolve(numTx)
 	switch {
@@ -619,17 +941,28 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, "need min_count >= 1 or min_support in (0,1)")
 		return
 	}
-	if req.SaveAs != "" && !validName(req.SaveAs) {
-		fail(w, http.StatusBadRequest, "bad save_as name %q", req.SaveAs)
-		return
+	if req.SaveAs != "" {
+		if !validName(req.SaveAs) {
+			fail(w, http.StatusBadRequest, "bad save_as name %q", req.SaveAs)
+			return
+		}
+		// Admission: a request that will save patterns is rejected at the
+		// door once the owning tenant's saved bytes meet their quota —
+		// before any mining happens on their behalf.
+		if err := s.gov.CheckPatternBytes(owner); err != nil {
+			var qe *shard.QuotaError
+			errors.As(err, &qe)
+			s.failQuota(w, qe)
+			return
+		}
 	}
 
 	if r.URL.Query().Get("async") == "1" {
-		s.enqueueMine(w, e, req, min)
+		s.enqueueMine(w, sh, tenant, e, req, min)
 		return
 	}
 
-	resp, err := s.mine(r.Context(), e, req, min)
+	resp, err := sh.mine(r.Context(), e, req, min)
 	if err != nil {
 		s.failMine(w, err)
 		return
@@ -650,20 +983,38 @@ func (s *Server) failMine(w http.ResponseWriter, err error) {
 	}
 }
 
-// enqueueMine submits the request to the async worker pool.
-func (s *Server) enqueueMine(w http.ResponseWriter, e *entry, req MineRequest, min int) {
-	job, err := s.jobs.Submit(func(ctx context.Context) (any, error) {
-		return s.mine(ctx, e, req, min)
+// enqueueMine submits the request to the owning shard's async worker pool,
+// charging the submitting tenant's job quota for the job's whole queued-or-
+// running lifetime.
+func (s *Server) enqueueMine(w http.ResponseWriter, sh *engineShard, tenant string, e *entry, req MineRequest, min int) {
+	if err := s.gov.AcquireJob(tenant); err != nil {
+		var qe *shard.QuotaError
+		errors.As(err, &qe)
+		s.failQuota(w, qe)
+		return
+	}
+	job, err := sh.jobs.Submit(func(ctx context.Context) (any, error) {
+		return sh.mine(ctx, e, req, min)
 	})
 	if err != nil {
+		s.gov.ReleaseJob(tenant)
 		s.met.rejected.Inc()
 		code, status := "queue_full", http.StatusTooManyRequests
 		if errors.Is(err, jobs.ErrShutdown) {
 			code, status = "shutting_down", http.StatusServiceUnavailable
 		}
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
 		failCode(w, status, code, "%v", err)
 		return
 	}
+	// The slot frees when the job reaches a terminal state — including a
+	// cancel while still queued, which never runs the job's function.
+	go func() {
+		<-job.Done()
+		s.gov.ReleaseJob(tenant)
+	}()
 	s.met.submitted.Inc()
 	writeJSON(w, http.StatusAccepted, job.Snapshot())
 }
@@ -673,6 +1024,7 @@ func (s *Server) enqueueMine(w http.ResponseWriter, e *entry, req MineRequest, m
 type minePlan struct {
 	db      *dataset.DB
 	version int64
+	owner   string
 	// prior is the saved set the run reuses; nil mines fresh.
 	prior *engine.Prior
 	// forceRecycle skips the pipeline's tighten-vs-relax decision: an
@@ -686,7 +1038,7 @@ type minePlan struct {
 func plan(e *entry, req MineRequest) (minePlan, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	p := minePlan{db: e.db, version: e.version}
+	p := minePlan{db: e.db, version: e.version, owner: e.owner}
 	switch use := req.Use; {
 	case use == "fresh":
 
@@ -706,12 +1058,13 @@ func plan(e *entry, req MineRequest) (minePlan, error) {
 	return p, nil
 }
 
-// mine runs one round: snapshot inputs under the entry lock, mine unlocked
-// under ctx (plus the configured per-request deadline), then re-acquire the
-// lock to save. Concurrent saves are last-writer-wins; a save against a
-// database replaced mid-run is skipped (version check) so stale patterns
-// never shadow fresh data.
-func (s *Server) mine(ctx context.Context, e *entry, req MineRequest, min int) (*MineResponse, error) {
+// mine runs one round on this shard: snapshot inputs under the entry lock,
+// mine unlocked under ctx (plus the configured per-request deadline), then
+// re-acquire the lock to save. Concurrent saves are last-writer-wins; a save
+// against a database replaced mid-run is skipped (version check) so stale
+// patterns never shadow fresh data.
+func (sh *engineShard) mine(ctx context.Context, e *entry, req MineRequest, min int) (*MineResponse, error) {
+	s := sh.srv
 	if s.mineTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.mineTimeout)
@@ -728,10 +1081,10 @@ func (s *Server) mine(ctx context.Context, e *entry, req MineRequest, min int) (
 	s.met.inFlight.Add(1)
 	defer s.met.inFlight.Add(-1)
 	var cache *lattice.Cache
-	if s.store != nil {
-		cache = s.store.Cache(p.db)
+	if sh.store != nil {
+		cache = sh.store.Cache(p.db)
 	}
-	pipe := s.pipe
+	pipe := sh.pipe
 	var run engine.Run
 	switch {
 	case req.Use == "fresh":
@@ -775,14 +1128,22 @@ func (s *Server) mine(ctx context.Context, e *entry, req MineRequest, min int) (
 	}
 
 	if req.SaveAs != "" {
+		bytes := memlimit.EstimatePatternBytes(patterns)
+		var delta int64
 		e.mu.Lock()
 		if e.version == p.version {
-			e.sets[req.SaveAs] = &savedSet{patterns: patterns, minCount: min, saved: time.Now()}
+			delta = bytes
+			if old, ok := e.sets[req.SaveAs]; ok {
+				delta -= old.bytes
+			}
+			e.sets[req.SaveAs] = &savedSet{patterns: patterns, minCount: min, bytes: bytes, saved: time.Now()}
 			resp.SavedAs = req.SaveAs
 		} else {
 			resp.SaveSkipped = true
 		}
+		owner := e.owner
 		e.mu.Unlock()
+		s.gov.AddPatternBytes(owner, delta)
 	}
 
 	if req.Limit > 0 {
@@ -822,12 +1183,32 @@ func bestSet(sets map[string]*savedSet) (string, *savedSet) {
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.jobs.List())
+	var list []jobs.Snapshot
+	for _, sh := range s.shards {
+		list = append(list, sh.jobs.List()...)
+	}
+	if list == nil {
+		list = []jobs.Snapshot{}
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].Created.Before(list[j].Created) })
+	writeJSON(w, http.StatusOK, list)
+}
+
+// findJob locates a job id across the shards' pools. Ids are unique (each
+// pool mints a distinct prefix), so a linear probe over N managers — each a
+// map lookup — suffices.
+func (s *Server) findJob(id string) (*engineShard, *jobs.Job, bool) {
+	for _, sh := range s.shards {
+		if j, ok := sh.jobs.Get(id); ok {
+			return sh, j, true
+		}
+	}
+	return nil, nil, false
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	j, ok := s.jobs.Get(id)
+	_, j, ok := s.findJob(id)
 	if !ok {
 		fail(w, http.StatusNotFound, "no job %q", id)
 		return
@@ -838,9 +1219,9 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	// Hold the *Job before cancelling: a concurrent Submit may evict the
-	// now-terminal job from the manager, making a later Get return nil.
-	j, ok := s.jobs.Get(id)
-	if !ok || !s.jobs.Cancel(id) {
+	// now-terminal job from its manager, making a later Get return nil.
+	sh, j, ok := s.findJob(id)
+	if !ok || !sh.jobs.Cancel(id) {
 		fail(w, http.StatusNotFound, "no job %q", id)
 		return
 	}
@@ -857,7 +1238,7 @@ type SetInfo struct {
 }
 
 func (s *Server) handlePatternList(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.get(r.PathValue("id"))
+	_, e, ok := s.get(r.PathValue("id"))
 	if !ok {
 		fail(w, http.StatusNotFound, "no database %q", r.PathValue("id"))
 		return
@@ -874,7 +1255,7 @@ func (s *Server) handlePatternList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePatternGet(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.get(r.PathValue("id"))
+	_, e, ok := s.get(r.PathValue("id"))
 	if !ok {
 		fail(w, http.StatusNotFound, "no database %q", r.PathValue("id"))
 		return

@@ -19,7 +19,8 @@ func TestSaveVersionCheck(t *testing.T) {
 	s := New()
 	defer s.Shutdown(context.Background())
 	e := newEntry()
-	s.dbs["d"] = e
+	sh := s.shards[0]
+	sh.dbs["d"] = e
 
 	// Replace the database between snapshot and save.
 	s.mineHook = func() {
@@ -29,7 +30,7 @@ func TestSaveVersionCheck(t *testing.T) {
 		e.version++
 		e.mu.Unlock()
 	}
-	resp, err := s.mine(context.Background(), e, MineRequest{SaveAs: "stale"}, 2)
+	resp, err := sh.mine(context.Background(), e, MineRequest{SaveAs: "stale"}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestSaveVersionCheck(t *testing.T) {
 
 	// Without a replacement the save lands.
 	s.mineHook = nil
-	resp, err = s.mine(context.Background(), e, MineRequest{SaveAs: "good"}, 1)
+	resp, err = sh.mine(context.Background(), e, MineRequest{SaveAs: "good"}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,13 +61,14 @@ func TestSaveLastWriterWins(t *testing.T) {
 	s := New()
 	defer s.Shutdown(context.Background())
 	e := newEntry()
-	s.dbs["d"] = e
+	sh := s.shards[0]
+	sh.dbs["d"] = e
 
-	if _, err := s.mine(context.Background(), e, MineRequest{SaveAs: "x", Use: "fresh"}, 2); err != nil {
+	if _, err := sh.mine(context.Background(), e, MineRequest{SaveAs: "x", Use: "fresh"}, 2); err != nil {
 		t.Fatal(err)
 	}
 	first := e.sets["x"]
-	if _, err := s.mine(context.Background(), e, MineRequest{SaveAs: "x", Use: "fresh"}, 1); err != nil {
+	if _, err := sh.mine(context.Background(), e, MineRequest{SaveAs: "x", Use: "fresh"}, 1); err != nil {
 		t.Fatal(err)
 	}
 	second := e.sets["x"]
