@@ -17,6 +17,13 @@
 //
 //	rpmine -in data.basket -minsup 0.05,0.02,0.01,0.02
 //
+// With -data-dir the lattice persists across invocations: rungs mined by one
+// run are recovered by the next run on the same input, so separate processes
+// sweep as cheaply as one (a changed input file resets its ladder):
+//
+//	rpmine -in data.basket -minsup 0.05 -data-dir .rpmine-cache
+//	rpmine -in data.basket -minsup 0.05 -data-dir .rpmine-cache   # pure filter
+//
 // Every algorithm comes from the engine registry — run `rpmine -list` for
 // the full catalogue: baselines (apriori, hmine, ...), recycling engines
 // (rp-naive, rp-hmine, ...; they use -recycle), and the derived parallel
@@ -29,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -41,6 +49,7 @@ import (
 	"gogreen/internal/mining"
 	"gogreen/internal/patternio"
 	"gogreen/internal/postmine"
+	"gogreen/internal/store"
 )
 
 func main() {
@@ -48,6 +57,7 @@ func main() {
 		in       = flag.String("in", "", "input basket file (numeric item ids)")
 		minsup   = flag.String("minsup", "0.01", "minimum support (fraction <1, or absolute count >=1); a comma-separated list runs a lattice-served sweep")
 		latticed = flag.Bool("lattice", true, "serve multi-threshold sweeps through the materialized threshold lattice")
+		dataDir  = flag.String("data-dir", "", "persist mined lattice rungs in this directory, so later invocations on the same input filter or relax instead of mining cold (implies the lattice serving path)")
 		algo     = flag.String("algo", "hmine", "algorithm (see doc comment)")
 		strategy = flag.String("strategy", "mcp", "compression strategy for recycling: mcp or mlp")
 		recycle  = flag.String("recycle", "", "pattern file from an earlier round to recycle")
@@ -111,11 +121,11 @@ func main() {
 	}
 
 	start := time.Now()
-	if len(mins) > 1 {
+	if len(mins) > 1 || *dataDir != "" {
 		if *memMB > 0 {
-			fatal(fmt.Errorf("-mem is not supported with a -minsup sweep"))
+			fatal(fmt.Errorf("-mem is not supported with a -minsup sweep or -data-dir"))
 		}
-		if err := sweep(db, mins, *algo, strat, recycled, recycledMin, *workers, *latticed, sink); err != nil {
+		if err := sweep(db, mins, *algo, strat, recycled, recycledMin, *workers, *latticed, *dataDir, *in, sink); err != nil {
 			fatal(err)
 		}
 	} else if err := mine(db, min, *algo, strat, recycled, int64(*memMB)<<20, *workers, sink); err != nil {
@@ -207,7 +217,12 @@ func parseMinsups(s string, dbLen int) ([]int, error) {
 // or relax-mines from the rungs earlier rounds installed; without it, each
 // round still recycles the previous round's result as its prior. Only the
 // last round streams into sink.
-func sweep(db *dataset.DB, mins []int, algo string, strat core.Strategy, recycled []mining.Pattern, recycledMin, workers int, latticed bool, sink mining.Sink) error {
+//
+// With dataDir the lattice outlives the process: rungs persisted by earlier
+// invocations on the same input are re-installed before round one, and every
+// rung this sweep installs is written back, so a shell loop over thresholds
+// recycles exactly like a long-lived session.
+func sweep(db *dataset.DB, mins []int, algo string, strat core.Strategy, recycled []mining.Pattern, recycledMin, workers int, latticed bool, dataDir, inPath string, sink mining.Sink) error {
 	d, ok := engine.Lookup(algo)
 	if !ok {
 		return fmt.Errorf("rpmine: unknown algorithm %q (run rpmine -list)", algo)
@@ -221,6 +236,42 @@ func sweep(db *dataset.DB, mins []int, algo string, strat core.Strategy, recycle
 	cfg := engine.CacheConfig{Enabled: latticed}
 	cfg.Attach(&p, db)
 
+	var st *store.Store
+	dbID := ""
+	if dataDir != "" && latticed {
+		var err error
+		if st, err = store.Open(dataDir, store.Options{}); err != nil {
+			return fmt.Errorf("rpmine: open -data-dir: %w", err)
+		}
+		defer st.Close()
+		// Rungs are keyed by the input's base name; a tuple-count mismatch
+		// means the file changed, which resets its persisted ladder.
+		dbID = filepath.Base(inPath)
+		stale := true
+		for _, m := range st.List() {
+			if m.ID == dbID {
+				stale = m.NumTx != db.Len()
+				break
+			}
+		}
+		if stale {
+			if err := st.PutDB(dbID, "local", db); err != nil {
+				return fmt.Errorf("rpmine: persist input: %w", err)
+			}
+		} else {
+			rungs, err := st.LoadRungs(dbID)
+			if err != nil {
+				return fmt.Errorf("rpmine: load rungs: %w", err)
+			}
+			for _, r := range rungs {
+				p.Cache.Install(r.MinCount, r.Patterns)
+			}
+			if len(rungs) > 0 {
+				fmt.Fprintf(os.Stderr, "lattice: %d persisted rungs recovered from %s\n", len(rungs), dataDir)
+			}
+		}
+	}
+
 	var prior *engine.Prior
 	if len(recycled) > 0 && recycledMin >= 1 {
 		prior = &engine.Prior{Patterns: recycled, MinCount: recycledMin, Label: "recycle-file"}
@@ -229,6 +280,11 @@ func sweep(db *dataset.DB, mins []int, algo string, strat core.Strategy, recycle
 		run, err := p.Serve(context.Background(), db, prior, m, nil)
 		if err != nil {
 			return err
+		}
+		if st != nil && run.Installed != nil {
+			if err := st.PutRung(dbID, run.Installed.MinCount, run.Installed.Patterns); err != nil {
+				return fmt.Errorf("rpmine: persist rung: %w", err)
+			}
 		}
 		from, cache := string(run.Source), run.Cache
 		if run.BasedOn != "" {

@@ -27,6 +27,12 @@
 //	curl localhost:8080/jobs/j1           # poll
 //	curl -X DELETE localhost:8080/jobs/j1 # cancel mid-recursion
 //
+// With -data-dir the service is durable: every shard persists uploads,
+// saved pattern sets and installed lattice rungs to an append-only segment
+// store (fsync'd before the response), restart replays them, and
+// -cold-after spills long-untouched databases to disk stubs that rehydrate
+// on first touch. -snapshot-interval paces background compaction.
+//
 // Mining responses flow through the materialized threshold lattice (disable
 // with -lattice=false, budget with -cache-budget-mb, snap installs to a grid
 // with -lattice-rungs): repeated or tightened thresholds are answered by
@@ -61,21 +67,24 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		maxBody     = flag.Int64("max-upload-mb", 64, "maximum upload size in MiB")
-		mineTimeout = flag.Duration("mine-timeout", 0, "per-request mining deadline (0 = none)")
-		workers     = flag.Int("workers", 0, "async mining workers (0 = NumCPU)")
-		mineWorkers = flag.Int("mine-workers", 0, "worker pool per mining run (0 = serial, -1 = GOMAXPROCS)")
-		queue       = flag.Int("queue", 64, "async job queue depth")
-		shards      = flag.Int("shards", 1, "engine shard count (databases are routed by consistent hashing)")
-		maxDBs      = flag.Int("tenant-max-dbs", 0, "per-tenant resident database quota (0 = unlimited)")
-		maxJobs     = flag.Int("tenant-max-jobs", 0, "per-tenant queued async job quota (0 = unlimited)")
-		maxPatMB    = flag.Int64("tenant-max-pattern-mb", 0, "per-tenant saved-pattern budget in MiB (0 = unlimited)")
-		latticeOn   = flag.Bool("lattice", true, "serve repeated thresholds from the materialized threshold lattice")
-		cacheMB     = flag.Int64("cache-budget-mb", 0, "lattice cache budget in MiB (0 = default 64)")
-		rungs       = flag.String("lattice-rungs", "", "comma-separated relative thresholds to snap lattice installs to (e.g. 0.5,0.2,0.1)")
-		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
-		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		addr          = flag.String("addr", ":8080", "listen address")
+		maxBody       = flag.Int64("max-upload-mb", 64, "maximum upload size in MiB")
+		mineTimeout   = flag.Duration("mine-timeout", 0, "per-request mining deadline (0 = none)")
+		workers       = flag.Int("workers", 0, "async mining workers (0 = NumCPU)")
+		mineWorkers   = flag.Int("mine-workers", 0, "worker pool per mining run (0 = serial, -1 = GOMAXPROCS)")
+		queue         = flag.Int("queue", 64, "async job queue depth")
+		shards        = flag.Int("shards", 1, "engine shard count (databases are routed by consistent hashing)")
+		maxDBs        = flag.Int("tenant-max-dbs", 0, "per-tenant resident database quota (0 = unlimited)")
+		maxJobs       = flag.Int("tenant-max-jobs", 0, "per-tenant queued async job quota (0 = unlimited)")
+		maxPatMB      = flag.Int64("tenant-max-pattern-mb", 0, "per-tenant saved-pattern budget in MiB (0 = unlimited)")
+		latticeOn     = flag.Bool("lattice", true, "serve repeated thresholds from the materialized threshold lattice")
+		cacheMB       = flag.Int64("cache-budget-mb", 0, "lattice cache budget in MiB (0 = default 64)")
+		rungs         = flag.String("lattice-rungs", "", "comma-separated relative thresholds to snap lattice installs to (e.g. 0.5,0.2,0.1)")
+		pprofOn       = flag.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
+		drain         = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		dataDir       = flag.String("data-dir", "", "durable data directory (empty = in-memory; uploads, saves and mined rungs survive restarts)")
+		snapshotEvery = flag.Duration("snapshot-interval", time.Minute, "segment snapshot/compaction cadence (with -data-dir)")
+		coldAfter     = flag.Duration("cold-after", 0, "spill databases untouched this long to disk stubs (0 = never; with -data-dir)")
 	)
 	flag.Parse()
 
@@ -83,7 +92,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("rpserved: %v", err)
 	}
-	srv := server.New(
+	srv, err := server.Open(
 		server.WithMaxBodyBytes(*maxBody<<20),
 		server.WithMineTimeout(*mineTimeout),
 		server.WithWorkers(*workers),
@@ -98,7 +107,16 @@ func main() {
 		server.WithLattice(*latticeOn),
 		server.WithLatticeRungs(grid),
 		server.WithCacheBudget(*cacheMB<<20),
+		server.WithDataDir(*dataDir),
+		server.WithSnapshotInterval(*snapshotEvery),
+		server.WithColdAfter(*coldAfter),
 	)
+	if err != nil {
+		log.Fatalf("rpserved: open: %v", err)
+	}
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "rpserved: durable state in %s\n", *dataDir)
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	if *pprofOn {
@@ -137,6 +155,9 @@ func main() {
 	}
 	if err := srv.Shutdown(dctx); err != nil {
 		log.Printf("rpserved: job drain: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("rpserved: store close: %v", err)
 	}
 }
 

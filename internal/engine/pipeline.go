@@ -108,6 +108,20 @@ type Run struct {
 	Algo string
 	// CompressStats summarizes phase one of a recycled run; nil otherwise.
 	CompressStats *core.Stats
+	// Installed describes the lattice rung Serve materialized this round
+	// (the complete pattern set at the grid-snapped threshold, possibly
+	// below the answer's); nil when nothing was installed. Callers that
+	// persist the lattice write this rung through to disk.
+	Installed *InstalledRung
+}
+
+// InstalledRung is the rung a Serve round added to the threshold ladder.
+type InstalledRung struct {
+	// MinCount is the absolute threshold the rung was installed at.
+	MinCount int
+	// Patterns is the complete frequent-pattern set at MinCount. It aliases
+	// the cached slice: treat as immutable.
+	Patterns []mining.Pattern
 }
 
 // Prior is the reusable knowledge an earlier round left behind, driving the
@@ -470,6 +484,9 @@ func (p *Pipeline) Serve(ctx context.Context, db *dataset.DB, prior *Prior, minC
 	if installed, evicted := p.Cache.Install(installMin, run.Patterns); installed {
 		p.observeCache(CacheInstall, 1)
 		p.observeCache(CacheEvict, evicted)
+		// The complete pre-filter set is the rung; capture it before the
+		// answer is filtered up so callers can persist what was installed.
+		run.Installed = &InstalledRung{MinCount: installMin, Patterns: run.Patterns}
 	}
 	if installMin < minCount {
 		run.Patterns = core.FilterTightened(run.Patterns, minCount)

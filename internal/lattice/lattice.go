@@ -227,6 +227,19 @@ func (c *Cache) removeLocked(r *rung) {
 	}
 }
 
+// redirectLocked returns the cache currently registered for c's key —
+// c itself when it is still the live handle, the fresh handle otherwise.
+// Install re-registers keys whose handle was dropped by eviction, so a
+// stale handle must read through the registered one or it reports Miss
+// against a resident ladder (and triggers a full re-mine). Caller holds
+// store.mu.
+func (c *Cache) redirectLocked() *Cache {
+	if cur, ok := c.store.caches[c.key]; ok && cur != c {
+		return cur
+	}
+	return c
+}
+
 // Best returns the serving decision for an absolute threshold: the chosen
 // rung's patterns and threshold plus the outcome. On Hit the patterns are a
 // superset of the answer (filter them with core.FilterTightened); on Relax
@@ -237,6 +250,7 @@ func (c *Cache) removeLocked(r *rung) {
 func (c *Cache) Best(minCount int) ([]mining.Pattern, int, Outcome) {
 	c.store.mu.Lock()
 	defer c.store.mu.Unlock()
+	c = c.redirectLocked()
 	if len(c.rungs) == 0 {
 		return nil, 0, Miss
 	}
@@ -265,6 +279,7 @@ func (c *Cache) Best(minCount int) ([]mining.Pattern, int, Outcome) {
 func (c *Cache) Peek(minCount int) ([]mining.Pattern, int, Outcome) {
 	c.store.mu.Lock()
 	defer c.store.mu.Unlock()
+	c = c.redirectLocked()
 	if len(c.rungs) == 0 {
 		return nil, 0, Miss
 	}
@@ -342,10 +357,7 @@ func (c *Cache) Invalidate() {
 func (c *Cache) Rungs() []RungInfo {
 	c.store.mu.Lock()
 	defer c.store.mu.Unlock()
-	src := c.rungs
-	if cur, ok := c.store.caches[c.key]; ok && cur != c {
-		src = cur.rungs
-	}
+	src := c.redirectLocked().rungs
 	out := make([]RungInfo, len(src))
 	for i, r := range src {
 		out[i] = RungInfo{MinCount: r.minCount, Patterns: len(r.patterns),

@@ -54,6 +54,54 @@ func TestBestPicksNearestRung(t *testing.T) {
 	}
 }
 
+// TestTwoHandlesShareLadder is the stale-handle regression: a Cache handle
+// obtained before any install (or orphaned by a full eviction) is not the
+// registered handle for its key, and before the redirect fix Best/Peek read
+// the stale handle's empty rungs and reported Miss against a resident
+// ladder — a silent full re-mine. Install and Rungs already redirected;
+// Best and Peek must too.
+func TestTwoHandlesShareLadder(t *testing.T) {
+	s := NewStore(1 << 20)
+	h1 := s.Cache("db") // obtained before any install: never registered
+	h2 := s.Cache("db")
+	if ok, _ := h2.Install(3, fpAt(3)); !ok {
+		t.Fatal("install refused")
+	}
+	for name, h := range map[string]*Cache{"stale": h1, "registered": h2} {
+		if fp, rung, out := h.Best(5); out != Hit || rung != 3 || len(fp) != len(fpAt(3)) {
+			t.Fatalf("%s handle Best(5) = rung %d %v (%d patterns), want hit from 3",
+				name, rung, out, len(fp))
+		}
+		if fp, rung, out := h.Peek(2); out != Relax || rung != 3 || len(fp) != len(fpAt(3)) {
+			t.Fatalf("%s handle Peek(2) = rung %d %v, want relax from 3", name, rung, out)
+		}
+		if infos := h.Rungs(); len(infos) != 1 || infos[0].MinCount != 3 {
+			t.Fatalf("%s handle Rungs = %+v", name, infos)
+		}
+	}
+	// Best through the stale handle must also have touched the real rung's
+	// counters (one hit per handle above).
+	if infos := h2.Rungs(); infos[0].Hits != 2 {
+		t.Fatalf("hits = %d, want 2 (one per handle)", infos[0].Hits)
+	}
+
+	// Same scenario via eviction: h3 installs, budget squeeze drops the
+	// ladder and the registration, h4 reinstalls; h3 must follow.
+	s2 := NewStore(1 << 20)
+	h3 := s2.Cache("db")
+	h3.Install(3, fpAt(3))
+	s2.SetBudget(0) // evict everything; "db" dropped from the key map
+	s2.SetBudget(1 << 20)
+	h4 := s2.Cache("db")
+	if h4 == h3 {
+		t.Fatal("expected a fresh handle after full eviction")
+	}
+	h4.Install(2, fpAt(2))
+	if _, rung, out := h3.Best(4); out != Hit || rung != 2 {
+		t.Fatalf("evicted-era handle Best = rung %d %v, want hit from 2", rung, out)
+	}
+}
+
 func TestInstallReplacesRung(t *testing.T) {
 	s := NewStore(1 << 20)
 	c := s.Cache("db")

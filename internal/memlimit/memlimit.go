@@ -69,7 +69,15 @@ func EstimatePatternBytes(fp []mining.Pattern) int64 {
 	for i := range fp {
 		items += int64(len(fp[i].Items))
 	}
-	return items*bytesPerItem + int64(len(fp))*tupleOverhead
+	return EstimatePatternBytesFromCounts(len(fp), items)
+}
+
+// EstimatePatternBytesFromCounts is EstimatePatternBytes from the two counts
+// alone — for callers restoring quota accounting from stored metadata (the
+// durable pattern store indexes pattern and item counts without loading the
+// patterns themselves).
+func EstimatePatternBytesFromCounts(patterns int, items int64) int64 {
+	return items*bytesPerItem + int64(patterns)*tupleOverhead
 }
 
 // EstimateCDBBytes models the in-memory footprint of an encoded compressed
@@ -207,12 +215,15 @@ func (d *driver) mineCDB(blocks []core.Block, loose [][]dataset.Item, flist *min
 	}
 	// Parallel projection: stream each block and loose tuple into every
 	// partition whose item it contains, projecting straight into the spill
-	// writers (no intermediate slices).
+	// writers (no intermediate slices). Writers are sticky-error, checked
+	// per record: a failing disk stops the spill at the record that hit it.
 	for i := range blocks {
 		b := &blocks[i]
 		for _, r := range b.Suffix {
 			if w := writers[r]; w != nil {
-				w.writeProjectedBlock(b, r)
+				if err := w.writeProjectedBlock(b, r); err != nil {
+					return abortParts(writers, paths, err)
+				}
 			}
 		}
 		// Tail-only memberships: bucket member tails by item once, so the
@@ -227,21 +238,25 @@ func (d *driver) mineCDB(blocks []core.Block, loose [][]dataset.Item, flist *min
 			}
 		}
 		for r, members := range buckets {
-			writers[r].writeBucketedBlock(b, r, members)
+			if err := writers[r].writeBucketedBlock(b, r, members); err != nil {
+				return abortParts(writers, paths, err)
+			}
 		}
 	}
 	for _, t := range loose {
 		for _, r := range t {
 			if w := writers[r]; w != nil {
 				if nt := itemsAfter(t, r); len(nt) > 0 {
-					w.writeTuple(nt)
+					if err := w.writeTuple(nt); err != nil {
+						return abortParts(writers, paths, err)
+					}
 				}
 			}
 		}
 	}
 	for _, w := range writers {
 		if err := w.closeFlush(); err != nil {
-			return err
+			return abortParts(writers, paths, err)
 		}
 	}
 
@@ -303,13 +318,15 @@ func (d *driver) mineDB(tx [][]dataset.Item, flist *mining.FList, prefix []datas
 	for _, t := range tx {
 		for i, r := range t {
 			if w := writers[r]; w != nil && i+1 < len(t) {
-				w.writeTuple(t[i+1:])
+				if err := w.writeTuple(t[i+1:]); err != nil {
+					return abortParts(writers, paths, err)
+				}
 			}
 		}
 	}
 	for _, w := range writers {
 		if err := w.closeFlush(); err != nil {
-			return err
+			return abortParts(writers, paths, err)
 		}
 	}
 

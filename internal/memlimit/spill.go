@@ -31,8 +31,13 @@ const (
 var ErrCorruptPartition = errors.New("memlimit: corrupt partition file")
 
 type partWriter struct {
-	f   *os.File
-	w   *bufio.Writer
+	f *os.File
+	w *bufio.Writer
+	// err is sticky: the first failed write poisons the writer, later
+	// writes are dropped, and every record method reports it — so a
+	// disk-full surfaces at the record that hit it, not at closeFlush
+	// after a run of silently truncated records.
+	err error
 	buf [binary.MaxVarintLen64]byte
 }
 
@@ -47,8 +52,13 @@ func newPartWriter(path string) (*partWriter, error) {
 }
 
 func (p *partWriter) uvarint(v uint64) {
+	if p.err != nil {
+		return
+	}
 	n := binary.PutUvarint(p.buf[:], v)
-	p.w.Write(p.buf[:n])
+	if _, err := p.w.Write(p.buf[:n]); err != nil {
+		p.err = fmt.Errorf("memlimit: spill write: %w", err)
+	}
 }
 
 func (p *partWriter) items(items []dataset.Item) {
@@ -60,10 +70,12 @@ func (p *partWriter) items(items []dataset.Item) {
 	}
 }
 
-// writeTuple appends one plain tuple record.
-func (p *partWriter) writeTuple(t []dataset.Item) {
+// writeTuple appends one plain tuple record and reports the writer's
+// sticky error.
+func (p *partWriter) writeTuple(t []dataset.Item) error {
 	p.uvarint(tagTuple)
 	p.items(t)
+	return p.err
 }
 
 // writeProjectedBlock streams the r-projection of one block where r is a
@@ -71,10 +83,10 @@ func (p *partWriter) writeTuple(t []dataset.Item) {
 // without materializing intermediate slices. A block whose remaining pattern
 // empties degrades into tuple records. Tail-item projections go through
 // writeBucketedBlock instead.
-func (p *partWriter) writeProjectedBlock(b *core.Block, r dataset.Item) {
+func (p *partWriter) writeProjectedBlock(b *core.Block, r dataset.Item) error {
 	newSuffix := itemsAfter(b.Suffix, r)
 	if b.Count == 0 {
-		return
+		return p.err
 	}
 	if len(newSuffix) == 0 {
 		// Degenerate: members reduce to their tails.
@@ -83,7 +95,7 @@ func (p *partWriter) writeProjectedBlock(b *core.Block, r dataset.Item) {
 				p.writeTuple(nt)
 			}
 		}
-		return
+		return p.err
 	}
 
 	// Pass 1: non-empty-tail count; pass 2: the block record.
@@ -102,14 +114,15 @@ func (p *partWriter) writeProjectedBlock(b *core.Block, r dataset.Item) {
 			p.items(nt)
 		}
 	}
+	return p.err
 }
 
 // writeBucketedBlock streams the r-projection of a block whose qualifying
 // members are already known (tail indexes in members; r is a tail item, not
 // a pattern item). Mirrors writeProjectedBlock's degenerate handling.
-func (p *partWriter) writeBucketedBlock(b *core.Block, r dataset.Item, members []int32) {
+func (p *partWriter) writeBucketedBlock(b *core.Block, r dataset.Item, members []int32) error {
 	if len(members) == 0 {
-		return
+		return p.err
 	}
 	newSuffix := itemsAfter(b.Suffix, r)
 	if len(newSuffix) == 0 {
@@ -118,7 +131,7 @@ func (p *partWriter) writeBucketedBlock(b *core.Block, r dataset.Item, members [
 				p.writeTuple(nt)
 			}
 		}
-		return
+		return p.err
 	}
 	nTails := 0
 	for _, ti := range members {
@@ -135,6 +148,7 @@ func (p *partWriter) writeBucketedBlock(b *core.Block, r dataset.Item, members [
 			p.items(nt)
 		}
 	}
+	return p.err
 }
 
 // itemsAfter returns the subslice of sorted s strictly greater than r
@@ -153,6 +167,10 @@ func itemsAfter(s []dataset.Item, r dataset.Item) []dataset.Item {
 }
 
 func (p *partWriter) closeFlush() error {
+	if p.err != nil {
+		p.f.Close()
+		return p.err
+	}
 	if err := p.w.Flush(); err != nil {
 		p.f.Close()
 		return fmt.Errorf("memlimit: flush: %w", err)
@@ -163,8 +181,30 @@ func (p *partWriter) closeFlush() error {
 	return nil
 }
 
+// abortParts closes and deletes every partition of a failed spill pass and
+// returns err — a failing disk must not leave half-written partitions (or
+// open file handles) behind.
+func abortParts(writers map[dataset.Item]*partWriter, paths map[dataset.Item]string, err error) error {
+	for _, w := range writers {
+		w.f.Close()
+	}
+	for _, p := range paths {
+		os.Remove(p)
+	}
+	return err
+}
+
 type partReader struct {
-	r *bufio.Reader
+	r io.ByteReader
+}
+
+// asByteReader adapts any reader for the varint decoder without double
+// buffering the common *bufio.Reader case.
+func asByteReader(r io.Reader) io.ByteReader {
+	if br, ok := r.(io.ByteReader); ok {
+		return br
+	}
+	return bufio.NewReader(r)
 }
 
 func (p *partReader) uvarint() (uint64, error) {
@@ -187,7 +227,7 @@ func (p *partReader) items() ([]dataset.Item, error) {
 			return nil, errTruncated(err)
 		}
 		prev += d
-		if prev > 1<<31 {
+		if prev >= 1<<31 { // must fit a positive int32 dataset.Item
 			return nil, ErrCorruptPartition
 		}
 		out[i] = dataset.Item(prev)
@@ -209,7 +249,13 @@ func readTxPart(path string) ([][]dataset.Item, error) {
 		return nil, fmt.Errorf("memlimit: %w", err)
 	}
 	defer f.Close()
-	p := &partReader{r: bufio.NewReaderSize(f, 1<<16)}
+	return readTxRecords(bufio.NewReaderSize(f, 1<<16))
+}
+
+// readTxRecords decodes a plain-tuple record stream. Split from the path
+// wrapper so the decoder can be fuzzed on raw bytes.
+func readTxRecords(r io.Reader) ([][]dataset.Item, error) {
+	p := &partReader{r: asByteReader(r)}
 	var out [][]dataset.Item
 	for {
 		tag, err := p.uvarint()
@@ -237,7 +283,13 @@ func readCDBPart(path string) ([]core.Block, [][]dataset.Item, error) {
 		return nil, nil, fmt.Errorf("memlimit: %w", err)
 	}
 	defer f.Close()
-	p := &partReader{r: bufio.NewReaderSize(f, 1<<16)}
+	return readCDBRecords(bufio.NewReaderSize(f, 1<<16))
+}
+
+// readCDBRecords decodes a compressed-partition record stream. Split from
+// the path wrapper so the decoder can be fuzzed on raw bytes.
+func readCDBRecords(r io.Reader) ([]core.Block, [][]dataset.Item, error) {
+	p := &partReader{r: asByteReader(r)}
 	var blocks []core.Block
 	var loose [][]dataset.Item
 	for {

@@ -1,6 +1,7 @@
 package memlimit
 
 import (
+	"bufio"
 	"errors"
 	"os"
 	"path/filepath"
@@ -69,6 +70,60 @@ func TestSpillDegenerateBlock(t *testing.T) {
 	// Tail {1} empties after item 2; only {5,6} survives.
 	if len(blocks) != 0 || len(loose) != 1 || len(loose[0]) != 2 {
 		t.Fatalf("blocks=%v loose=%v", blocks, loose)
+	}
+}
+
+// failAfter fails every Write once n bytes have been accepted.
+type failAfter struct {
+	n   int
+	err error
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, f.err
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, f.err
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+// TestSpillWriteErrorSticky: a failing disk mid-spill poisons the writer —
+// the record that hits the failure reports it, every later record reports
+// it too (instead of silently truncating the partition), and closeFlush
+// returns the original error.
+func TestSpillWriteErrorSticky(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "part.bin")
+	w, err := newPartWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	// Tiny buffer over the failing device so errors surface per record, the
+	// same shape newPartWriter builds over the real file.
+	w.w = bufio.NewWriterSize(&failAfter{n: 8, err: boom}, 4)
+
+	long := make([]dataset.Item, 64)
+	for i := range long {
+		long[i] = dataset.Item(i + 1)
+	}
+	if err := w.writeTuple(long); !errors.Is(err, boom) {
+		t.Fatalf("writeTuple over full disk = %v, want %v", err, boom)
+	}
+	// Sticky: subsequent records fail fast without touching the device.
+	b := core.Block{Suffix: []dataset.Item{2, 5}, Count: 1, Tails: [][]dataset.Item{{3}}}
+	if err := w.writeProjectedBlock(&b, 2); !errors.Is(err, boom) {
+		t.Fatalf("writeProjectedBlock after poison = %v, want %v", err, boom)
+	}
+	if err := w.writeBucketedBlock(&b, 3, []int32{0}); !errors.Is(err, boom) {
+		t.Fatalf("writeBucketedBlock after poison = %v, want %v", err, boom)
+	}
+	if err := w.closeFlush(); !errors.Is(err, boom) {
+		t.Fatalf("closeFlush after poison = %v, want %v", err, boom)
 	}
 }
 

@@ -75,6 +75,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -90,6 +91,7 @@ import (
 	"gogreen/internal/metrics"
 	"gogreen/internal/mining"
 	"gogreen/internal/shard"
+	"gogreen/internal/store"
 )
 
 // TenantHeader names the request header carrying the tenant id; requests
@@ -127,6 +129,18 @@ type Server struct {
 	quotas shard.Quotas
 	gov    *shard.Governor
 
+	// dataDir, when set, makes the server durable: each shard opens a
+	// segment store under dataDir/shard-<i>, every acknowledged mutation is
+	// written through before the response, boot replays what disk holds,
+	// and cold databases spill to stubs that rehydrate on first touch.
+	dataDir          string
+	snapshotInterval time.Duration
+	coldAfter        time.Duration
+
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+	closeOnce sync.Once
+
 	reg *metrics.Registry
 	met *serverMetrics
 
@@ -150,6 +164,8 @@ type engineShard struct {
 
 	jobs  *jobs.Manager
 	store *lattice.Store
+	// disk is the shard's durable segment store; nil without WithDataDir.
+	disk *store.Store
 
 	// pipe is the engine pipeline this shard's mining runs go through; its
 	// observer is the server-wide metrics bundle (metrics objects are
@@ -161,20 +177,35 @@ type engineShard struct {
 // bumped whenever the database content is replaced; mining results are only
 // saved when the database they were mined from is still current. owner is
 // the tenant whose quotas the database and its saved sets count against.
+//
+// With persistence on, an entry can be a cold stub: resident is false, db is
+// nil and the sets hold metadata only — stats, versioning and quota
+// accounting stay live, and first touch rehydrates content from the shard's
+// segment store. pins counts in-flight mining runs; the cold sweeper never
+// spills a pinned entry.
 type entry struct {
 	mu      sync.Mutex
+	id      string
 	db      *dataset.DB
 	stats   dataset.Stats
 	sets    map[string]*savedSet
 	version int64
 	owner   string
+
+	resident  bool
+	deleted   bool
+	pins      int
+	lastTouch time.Time
 }
 
 // savedSet is one saved mining result. The patterns slice is immutable once
 // stored, so it can be snapshotted out of the lock and shared; bytes is its
-// metered footprint (memlimit's cost model) for tenant accounting.
+// metered footprint (memlimit's cost model) for tenant accounting. count
+// mirrors len(patterns) and stays valid when a spilled set's patterns are
+// nil.
 type savedSet struct {
 	patterns []mining.Pattern
+	count    int
 	minCount int
 	bytes    int64
 	saved    time.Time
@@ -273,15 +304,60 @@ func WithCacheBudget(bytes int64) Option {
 	return func(s *Server) { engine.WithCacheBudget(bytes)(&s.cache) }
 }
 
-// New returns an empty server.
+// WithDataDir makes the server durable: each shard persists its databases,
+// saved pattern sets and installed lattice rungs to an append-only segment
+// store under dir/shard-<i> (fsync'd before a mutation is acknowledged), and
+// Open replays that state on boot — uploads, saves and mined rungs survive
+// restarts and crashes. Empty (the default) keeps the service in-memory.
+func WithDataDir(dir string) Option { return func(s *Server) { s.dataDir = dir } }
+
+// WithSnapshotInterval sets the cadence of the background segment
+// snapshot/compaction ticker (default 1m; <= 0 keeps the default). Only
+// meaningful with WithDataDir.
+func WithSnapshotInterval(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.snapshotInterval = d
+		}
+	}
+}
+
+// WithColdAfter spills databases untouched for d to their on-disk stubs,
+// freeing the pattern memory of cold tenants; first touch rehydrates them
+// lazily. 0 (the default) disables spilling. Only meaningful with
+// WithDataDir.
+func WithColdAfter(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.coldAfter = d
+		}
+	}
+}
+
+// New returns an empty server. With WithDataDir it panics when the data
+// directory cannot be opened or recovered — use Open to handle that error.
 func New(opts ...Option) *Server {
+	s, err := Open(opts...)
+	if err != nil {
+		panic(fmt.Sprintf("server.New: %v", err))
+	}
+	return s
+}
+
+// Open builds the server and, when WithDataDir is configured, recovers every
+// shard's durable state: databases come back as cold stubs (stats, saved-set
+// metadata and tenant quota accounting restored immediately; content
+// rehydrates from disk on first touch), and the snapshot and cold-spill
+// tickers start. Callers owning a durable server should Close it.
+func Open(opts ...Option) (*Server, error) {
 	s := &Server{
-		maxBody:         64 << 20,
-		workers:         runtime.NumCPU(),
-		queueCap:        64,
-		nshards:         1,
-		compressWorkers: runtime.GOMAXPROCS(0),
-		cache:           engine.CacheConfig{Enabled: true},
+		maxBody:          64 << 20,
+		workers:          runtime.NumCPU(),
+		queueCap:         64,
+		nshards:          1,
+		compressWorkers:  runtime.GOMAXPROCS(0),
+		cache:            engine.CacheConfig{Enabled: true},
+		snapshotInterval: time.Minute,
 	}
 	for _, o := range opts {
 		o(s)
@@ -371,7 +447,256 @@ func New(opts ...Option) *Server {
 			return n
 		})
 	}
-	return s
+
+	if s.dataDir != "" {
+		for _, sh := range s.shards {
+			disk, err := store.Open(filepath.Join(s.dataDir, fmt.Sprintf("shard-%d", sh.id)), store.Options{})
+			if err != nil {
+				s.closeStores()
+				return nil, err
+			}
+			sh.disk = disk
+		}
+		if err := s.recoverFromDisk(); err != nil {
+			s.closeStores()
+			return nil, err
+		}
+		for _, sh := range s.shards {
+			sh.disk.StartSnapshots(s.snapshotInterval)
+		}
+		s.reg.GaugeFunc("store_segments", func() int64 {
+			var n int64
+			for _, sh := range s.shards {
+				n += int64(sh.disk.Stats().Segments)
+			}
+			return n
+		})
+		s.reg.GaugeFunc("store_bytes", func() int64 {
+			var n int64
+			for _, sh := range s.shards {
+				n += sh.disk.Stats().DiskBytes
+			}
+			return n
+		})
+		if s.coldAfter > 0 {
+			s.startSweeper()
+		}
+	}
+	return s, nil
+}
+
+// recoverFromDisk rebuilds the in-memory shard maps from the segment
+// stores: every stored database becomes a cold stub (stats, saved-set
+// metadata and tenant accounting live; content loads lazily on first
+// touch). A database whose ring owner changed — the shard count differs
+// from the previous run — is migrated to its owning shard's store first, so
+// routing and storage always agree.
+func (s *Server) recoverFromDisk() error {
+	for _, src := range s.shards {
+		for _, m := range src.disk.List() {
+			if own := s.shardFor(m.ID); own != src {
+				if err := migrateDB(src.disk, own.disk, m); err != nil {
+					return fmt.Errorf("re-homing %q: %w", m.ID, err)
+				}
+			}
+		}
+	}
+	now := time.Now()
+	for _, sh := range s.shards {
+		for _, m := range sh.disk.List() {
+			e := &entry{
+				id:    m.ID,
+				owner: m.Tenant,
+				stats: dataset.Stats{NumTx: m.NumTx, NumItems: m.NumItems, AvgLen: m.AvgLen},
+				sets:  map[string]*savedSet{},
+				// A freshly recovered stub starts the cold clock now; it
+				// only hydrates when something touches it.
+				lastTouch: now,
+			}
+			var bytes int64
+			for _, sm := range m.Sets {
+				b := memlimit.EstimatePatternBytesFromCounts(sm.Patterns, sm.Items)
+				e.sets[sm.Name] = &savedSet{count: sm.Patterns, minCount: sm.MinCount,
+					bytes: b, saved: sm.Saved}
+				bytes += b
+			}
+			sh.dbs[m.ID] = e
+			s.gov.Restore(m.Tenant, 1, bytes)
+		}
+	}
+	return nil
+}
+
+// migrateDB moves one database's durable state between shard stores when a
+// shard-count change re-homed its id.
+func migrateDB(src, dst *store.Store, m store.DBMeta) error {
+	db, err := src.LoadDB(m.ID)
+	if err != nil {
+		return err
+	}
+	if err := dst.PutDB(m.ID, m.Tenant, db); err != nil {
+		return err
+	}
+	sets, err := src.LoadSets(m.ID)
+	if err != nil {
+		return err
+	}
+	for _, set := range sets {
+		if err := dst.PutSet(m.ID, set.Name, set.MinCount, set.Saved, set.Patterns); err != nil {
+			return err
+		}
+	}
+	rungs, err := src.LoadRungs(m.ID)
+	if err != nil {
+		return err
+	}
+	for _, r := range rungs {
+		if err := dst.PutRung(m.ID, r.MinCount, r.Patterns); err != nil {
+			return err
+		}
+	}
+	return src.DeleteDB(m.ID)
+}
+
+func (s *Server) closeStores() {
+	for _, sh := range s.shards {
+		if sh.disk != nil {
+			sh.disk.Close()
+		}
+	}
+}
+
+// Close stops the persistence tickers and closes the shard stores. Durable
+// servers should be Closed after Shutdown; for in-memory servers it is a
+// no-op.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		if s.sweepStop != nil {
+			close(s.sweepStop)
+			<-s.sweepDone
+		}
+		s.closeStores()
+	})
+	return nil
+}
+
+// startSweeper runs the cold-tenant spill loop: databases untouched for
+// coldAfter drop their resident content (the segment store already holds
+// it — every mutation is written through) and rehydrate on first touch.
+func (s *Server) startSweeper() {
+	s.sweepStop, s.sweepDone = make(chan struct{}), make(chan struct{})
+	interval := s.coldAfter / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	go func() {
+		defer close(s.sweepDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.sweepStop:
+				return
+			case <-t.C:
+				s.sweepCold()
+			}
+		}
+	}()
+}
+
+func (s *Server) sweepCold() {
+	cutoff := time.Now().Add(-s.coldAfter)
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		entries := make([]*entry, 0, len(sh.dbs))
+		for _, e := range sh.dbs {
+			entries = append(entries, e)
+		}
+		sh.mu.RUnlock()
+		for _, e := range entries {
+			sh.spillIfCold(e, cutoff)
+		}
+	}
+}
+
+// spillIfCold demotes one entry to its on-disk stub when it has gone cold:
+// the database and pattern memory are dropped and its memory-lattice ladder
+// invalidated (disk keeps a superset — stats, sets and rungs all rehydrate
+// on first touch). Pinned entries (a mine in flight) are never spilled.
+func (sh *engineShard) spillIfCold(e *entry, cutoff time.Time) {
+	e.mu.Lock()
+	if !e.resident || e.deleted || e.pins > 0 || e.lastTouch.After(cutoff) {
+		e.mu.Unlock()
+		return
+	}
+	old := e.db
+	e.db = nil
+	e.resident = false
+	for _, set := range e.sets {
+		set.patterns = nil
+	}
+	e.mu.Unlock()
+	if sh.store != nil && old != nil {
+		sh.store.Invalidate(old)
+	}
+	sh.srv.met.storeEvictions.Inc()
+}
+
+// hydrate loads a cold stub's content back from the shard's segment store.
+// Caller must not hold e.mu.
+func (sh *engineShard) hydrate(e *entry) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return sh.hydrateLocked(e)
+}
+
+// hydrateLocked is hydrate under e.mu: a no-op for resident entries, an
+// error for deleted ones. Saved sets keep their stub structs (and their
+// already-accounted quota bytes — the stub estimate and the loaded estimate
+// share one formula); the persisted lattice ladder is re-installed into the
+// shard's memory store under the fresh *dataset.DB identity.
+func (sh *engineShard) hydrateLocked(e *entry) error {
+	if e.deleted {
+		return fmt.Errorf("no database %q", e.id)
+	}
+	if e.resident || sh.disk == nil {
+		// Without a disk there is nothing to hydrate from — and nothing can
+		// have been spilled.
+		return nil
+	}
+	db, err := sh.disk.LoadDB(e.id)
+	if err != nil {
+		return err
+	}
+	sets, err := sh.disk.LoadSets(e.id)
+	if err != nil {
+		return err
+	}
+	rungs, err := sh.disk.LoadRungs(e.id)
+	if err != nil {
+		return err
+	}
+	e.db = db
+	e.stats = db.Stats()
+	for _, set := range sets {
+		if cur, ok := e.sets[set.Name]; ok {
+			cur.patterns = set.Patterns
+			cur.count = len(set.Patterns)
+		} else {
+			e.sets[set.Name] = &savedSet{patterns: set.Patterns, count: len(set.Patterns),
+				minCount: set.MinCount, bytes: memlimit.EstimatePatternBytes(set.Patterns),
+				saved: set.Saved}
+		}
+	}
+	e.resident = true
+	if sh.store != nil {
+		cache := sh.store.Cache(db)
+		for _, r := range rungs {
+			cache.Install(r.MinCount, r.Patterns)
+		}
+	}
+	sh.srv.met.storeRehydrations.Inc()
+	return nil
 }
 
 // ceilDiv is ⌈a/b⌉ with a floor of 1.
@@ -492,6 +817,13 @@ type serverMetrics struct {
 	// tenant_rejected.<resource>).
 	shardCount     *metrics.Gauge
 	tenantRejected *metrics.Counter
+
+	// storeRehydrations counts cold stubs loaded back from the segment
+	// stores; storeEvictions counts databases the cold sweeper spilled.
+	// (store_segments/store_bytes are gauges registered only with a data
+	// dir, since they read the live stores.)
+	storeRehydrations *metrics.Counter
+	storeEvictions    *metrics.Counter
 }
 
 func newServerMetrics(reg *metrics.Registry) *serverMetrics {
@@ -513,6 +845,9 @@ func newServerMetrics(reg *metrics.Registry) *serverMetrics {
 
 		shardCount:     reg.Gauge("shard_count"),
 		tenantRejected: reg.Counter("tenant_rejected_total"),
+
+		storeRehydrations: reg.Counter("store_rehydrations"),
+		storeEvictions:    reg.Counter("store_evictions"),
 	}
 }
 
@@ -575,6 +910,10 @@ type ShardInfo struct {
 	Running      int   `json:"running"`
 	LatticeRungs int   `json:"lattice_rungs,omitempty"`
 	LatticeBytes int64 `json:"lattice_bytes,omitempty"`
+	// StoreSegments/StoreBytes describe the shard's durable segment store;
+	// present only when the server runs with a data dir.
+	StoreSegments int   `json:"store_segments,omitempty"`
+	StoreBytes    int64 `json:"store_bytes,omitempty"`
 }
 
 // MineRequest is the body of POST /db/{id}/mine.
@@ -735,6 +1074,11 @@ func (s *Server) handleShards(w http.ResponseWriter, _ *http.Request) {
 			infos[i].LatticeRungs = sh.store.Rungs()
 			infos[i].LatticeBytes = sh.store.Bytes()
 		}
+		if sh.disk != nil {
+			st := sh.disk.Stats()
+			infos[i].StoreSegments = st.Segments
+			infos[i].StoreBytes = st.DiskBytes
+		}
 	}
 	writeJSON(w, http.StatusOK, infos)
 }
@@ -765,25 +1109,38 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sh := s.shardFor(id)
-	sh.mu.Lock()
-	e, existed := sh.dbs[id]
-	if !existed {
-		// Admission: a brand-new database consumes one of the tenant's DB
-		// slots; acquire it before the id becomes visible. The governor has
-		// its own lock and never takes shard locks, so the nesting is safe.
-		if err := s.gov.AcquireDB(tenant); err != nil {
-			sh.mu.Unlock()
-			var qe *shard.QuotaError
-			errors.As(err, &qe)
-			s.failQuota(w, qe)
-			return
+	var (
+		e       *entry
+		existed bool
+	)
+	for {
+		sh.mu.Lock()
+		e, existed = sh.dbs[id]
+		if !existed {
+			// Admission: a brand-new database consumes one of the tenant's DB
+			// slots; acquire it before the id becomes visible. The governor has
+			// its own lock and never takes shard locks, so the nesting is safe.
+			if err := s.gov.AcquireDB(tenant); err != nil {
+				sh.mu.Unlock()
+				var qe *shard.QuotaError
+				errors.As(err, &qe)
+				s.failQuota(w, qe)
+				return
+			}
+			e = &entry{id: id, sets: map[string]*savedSet{}, owner: tenant}
+			sh.dbs[id] = e
 		}
-		e = &entry{sets: map[string]*savedSet{}, owner: tenant}
-		sh.dbs[id] = e
-	}
-	sh.mu.Unlock()
+		sh.mu.Unlock()
 
-	e.mu.Lock()
+		e.mu.Lock()
+		if !e.deleted {
+			break
+		}
+		// A concurrent DELETE orphaned this entry between the map lookup and
+		// the lock; writing into it would vanish the upload. Retry the
+		// insert — the deleter already removed the id from the map.
+		e.mu.Unlock()
+	}
 	if existed && e.owner != tenant {
 		// Replacing another tenant's database transfers ownership (tenants
 		// are accounting domains, not an authorization boundary): the new
@@ -803,12 +1160,27 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	e.sets = map[string]*savedSet{}
 	e.owner = tenant
 	e.version++
-	e.mu.Unlock()
+	e.resident = true
+	e.lastTouch = time.Now()
+	// Quota moves happen under e.mu so a racing delete's refund and this
+	// replacement's debit serialize — each byte is charged and refunded
+	// exactly once in every interleaving.
 	s.gov.AddPatternBytes(oldOwner, -oldBytes)
+	var diskErr error
+	if sh.disk != nil {
+		// Write-through before acknowledging: a PutDB record also resets the
+		// database's persisted sets and rungs, mirroring the wipe above.
+		diskErr = sh.disk.PutDB(id, tenant, db)
+	}
+	e.mu.Unlock()
 	// The replaced database's ladder is unreachable (identity-keyed); drop
 	// it now instead of waiting for LRU aging to reclaim the budget.
 	if sh.store != nil && old != nil {
 		sh.store.Invalidate(old)
+	}
+	if diskErr != nil {
+		fail(w, http.StatusInternalServerError, "persist: %v", diskErr)
+		return
 	}
 	status := http.StatusCreated
 	if existed {
@@ -848,13 +1220,31 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e.mu.Lock()
+	// deleted marks the entry terminal while a reference may still be live in
+	// a concurrent mine or PUT: a mine's save observes it under e.mu and skips
+	// both the set and its quota charge, so the refund below is exactly-once —
+	// bytes never land on the owner after they were settled here.
+	e.deleted = true
+	e.version++
 	owner, bytes := e.owner, setBytes(e.sets)
 	old := e.db
-	e.mu.Unlock()
 	s.gov.ReleaseDB(owner)
 	s.gov.AddPatternBytes(owner, -bytes)
-	if sh.store != nil {
+	var diskErr error
+	if sh.disk != nil {
+		if diskErr = sh.disk.DeleteDB(id); errors.Is(diskErr, store.ErrNotFound) {
+			// The db may never have reached disk (its PUT's write-through
+			// failed); deleting it is still a success.
+			diskErr = nil
+		}
+	}
+	e.mu.Unlock()
+	if sh.store != nil && old != nil {
 		sh.store.Invalidate(old)
+	}
+	if diskErr != nil {
+		fail(w, http.StatusInternalServerError, "persist: %v", diskErr)
+		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -886,6 +1276,14 @@ func (s *Server) handleLatticeGet(w http.ResponseWriter, r *http.Request) {
 		info.BudgetBytes = sh.store.Budget()
 		info.StoreBytes = sh.store.Bytes()
 		e.mu.Lock()
+		// A cold stub's ladder lives on disk; hydrating re-installs it into
+		// the memory store so the inspection below sees it.
+		if err := sh.hydrateLocked(e); err != nil {
+			e.mu.Unlock()
+			fail(w, http.StatusInternalServerError, "hydrate: %v", err)
+			return
+		}
+		e.lastTouch = time.Now()
 		db := e.db
 		e.mu.Unlock()
 		if rungs := sh.store.Cache(db).Rungs(); len(rungs) > 0 {
@@ -902,11 +1300,21 @@ func (s *Server) handleLatticeDelete(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusNotFound, "no database %q", id)
 		return
 	}
-	if sh.store != nil {
-		e.mu.Lock()
-		db := e.db
-		e.mu.Unlock()
+	e.mu.Lock()
+	db := e.db
+	var diskErr error
+	if sh.disk != nil && !e.deleted {
+		// Invalidation covers the durable ladder too — otherwise a restart
+		// would resurrect rungs the operator explicitly dropped.
+		diskErr = sh.disk.DropRungs(id)
+	}
+	e.mu.Unlock()
+	if sh.store != nil && db != nil {
 		sh.store.Invalidate(db)
+	}
+	if diskErr != nil && !errors.Is(diskErr, store.ErrNotFound) {
+		fail(w, http.StatusInternalServerError, "persist: %v", diskErr)
+		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -1034,10 +1442,16 @@ type minePlan struct {
 
 // plan snapshots everything the run needs under the entry lock. The
 // fresh/filtered/recycled decision itself belongs to the engine pipeline;
-// plan only selects which saved set (if any) to hand it.
-func plan(e *entry, req MineRequest) (minePlan, error) {
+// plan only selects which saved set (if any) to hand it. A successful plan
+// pins the entry — the cold sweeper must not spill the database out from
+// under the run — so callers must unpin when the run finishes.
+func (sh *engineShard) plan(e *entry, req MineRequest) (minePlan, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := sh.hydrateLocked(e); err != nil {
+		return minePlan{}, err
+	}
+	e.lastTouch = time.Now()
 	p := minePlan{db: e.db, version: e.version, owner: e.owner}
 	switch use := req.Use; {
 	case use == "fresh":
@@ -1055,7 +1469,15 @@ func plan(e *entry, req MineRequest) (minePlan, error) {
 		p.prior = &engine.Prior{Patterns: set.patterns, MinCount: set.minCount, Label: use}
 		p.forceRecycle = true
 	}
+	e.pins++
 	return p, nil
+}
+
+// unpin releases one mining pin taken by plan.
+func (e *entry) unpin() {
+	e.mu.Lock()
+	e.pins--
+	e.mu.Unlock()
 }
 
 // mine runs one round on this shard: snapshot inputs under the entry lock,
@@ -1070,10 +1492,11 @@ func (sh *engineShard) mine(ctx context.Context, e *entry, req MineRequest, min 
 		ctx, cancel = context.WithTimeout(ctx, s.mineTimeout)
 		defer cancel()
 	}
-	p, err := plan(e, req)
+	p, err := sh.plan(e, req)
 	if err != nil {
 		return nil, err
 	}
+	defer e.unpin()
 	if s.mineHook != nil {
 		s.mineHook()
 	}
@@ -1108,6 +1531,7 @@ func (sh *engineShard) mine(ctx context.Context, e *entry, req MineRequest, min 
 		if installed, evicted := cache.Install(min, run.Patterns); installed {
 			s.met.OnCacheEvent(engine.CacheInstall, 1)
 			s.met.OnCacheEvent(engine.CacheEvict, evicted)
+			run.Installed = &engine.InstalledRung{MinCount: min, Patterns: run.Patterns}
 		}
 		run.Cache = string(lattice.Miss)
 	}
@@ -1127,23 +1551,43 @@ func (sh *engineShard) mine(ctx context.Context, e *entry, req MineRequest, min 
 		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
 	}
 
-	if req.SaveAs != "" {
+	var persistErr error
+	if req.SaveAs != "" || (sh.disk != nil && run.Installed != nil) {
 		bytes := memlimit.EstimatePatternBytes(patterns)
-		var delta int64
 		e.mu.Lock()
-		if e.version == p.version {
-			delta = bytes
-			if old, ok := e.sets[req.SaveAs]; ok {
-				delta -= old.bytes
-			}
-			e.sets[req.SaveAs] = &savedSet{patterns: patterns, minCount: min, bytes: bytes, saved: time.Now()}
-			resp.SavedAs = req.SaveAs
-		} else {
-			resp.SaveSkipped = true
+		// One freshness gate for everything the run wants to persist: the
+		// database must be the exact one the run mined (version check) and
+		// still alive (a concurrent DELETE already settled the owner's quota,
+		// so charging after it would leak bytes forever — the exactly-once
+		// rule is: quota moves happen under e.mu, gated on !deleted).
+		current := e.version == p.version && !e.deleted
+		if current && sh.disk != nil && run.Installed != nil {
+			persistErr = sh.disk.PutRung(e.id, run.Installed.MinCount, run.Installed.Patterns)
 		}
-		owner := e.owner
+		if req.SaveAs != "" {
+			if current {
+				delta := bytes
+				if old, ok := e.sets[req.SaveAs]; ok {
+					delta -= old.bytes
+				}
+				now := time.Now()
+				e.sets[req.SaveAs] = &savedSet{patterns: patterns, count: len(patterns),
+					minCount: min, bytes: bytes, saved: now}
+				resp.SavedAs = req.SaveAs
+				s.gov.AddPatternBytes(e.owner, delta)
+				if sh.disk != nil && persistErr == nil {
+					persistErr = sh.disk.PutSet(e.id, req.SaveAs, min, now, patterns)
+				}
+			} else {
+				resp.SaveSkipped = true
+			}
+		}
 		e.mu.Unlock()
-		s.gov.AddPatternBytes(owner, delta)
+	}
+	if persistErr != nil {
+		// The save is in memory but not durably acknowledged; surface the
+		// uncertainty rather than promising durability the disk refused.
+		return nil, fmt.Errorf("persist: %w", persistErr)
 	}
 
 	if req.Limit > 0 {
@@ -1246,7 +1690,9 @@ func (s *Server) handlePatternList(w http.ResponseWriter, r *http.Request) {
 	e.mu.Lock()
 	infos := make([]SetInfo, 0, len(e.sets))
 	for name, set := range e.sets {
-		infos = append(infos, SetInfo{Name: name, Count: len(set.patterns),
+		// count, not len(patterns): a spilled set's patterns are nil but its
+		// metadata answers listings without touching disk.
+		infos = append(infos, SetInfo{Name: name, Count: set.count,
 			MinCount: set.minCount, Saved: set.saved})
 	}
 	e.mu.Unlock()
@@ -1255,13 +1701,19 @@ func (s *Server) handlePatternList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePatternGet(w http.ResponseWriter, r *http.Request) {
-	_, e, ok := s.get(r.PathValue("id"))
+	sh, e, ok := s.get(r.PathValue("id"))
 	if !ok {
 		fail(w, http.StatusNotFound, "no database %q", r.PathValue("id"))
 		return
 	}
 	name := r.PathValue("name")
 	e.mu.Lock()
+	if err := sh.hydrateLocked(e); err != nil {
+		e.mu.Unlock()
+		fail(w, http.StatusInternalServerError, "hydrate: %v", err)
+		return
+	}
+	e.lastTouch = time.Now()
 	set, ok := e.sets[name]
 	e.mu.Unlock()
 	if !ok {

@@ -2,9 +2,15 @@ package server
 
 import (
 	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"gogreen/internal/dataset"
+	"gogreen/internal/shard"
 )
 
 func newEntry() *entry {
@@ -74,5 +80,139 @@ func TestSaveLastWriterWins(t *testing.T) {
 	second := e.sets["x"]
 	if second == first || second.minCount != 1 {
 		t.Fatalf("last writer did not win: first=%p second=%p minCount=%d", first, second, second.minCount)
+	}
+}
+
+// TestDeleteMidMineRefundsExactlyOnce audits the tenant byte-quota's
+// exactly-once rule under the worst interleaving: a DELETE lands between a
+// saving mine's input snapshot and its save. The delete settles the owner's
+// quota (refunding every accounted byte); the mine must then observe the
+// deleted flag and skip both the save and its charge — otherwise the tenant
+// leaks phantom bytes no later delete can ever refund.
+func TestDeleteMidMineRefundsExactlyOnce(t *testing.T) {
+	s := New()
+	defer s.Shutdown(context.Background())
+	h := s.Handler()
+
+	put := httptest.NewRequest("PUT", "/db/d", strings.NewReader("1 2\n1 2\n2 3\n"))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, put)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("put: %d %s", rec.Code, rec.Body)
+	}
+
+	// First, charge some bytes so the delete has a real refund to settle.
+	sh := s.shards[s.ring.Owner("d")]
+	e := sh.dbs["d"]
+	if _, err := sh.mine(context.Background(), e, MineRequest{SaveAs: "warm"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if u := s.gov.Usage(DefaultTenant); u.PatternBytes <= 0 {
+		t.Fatalf("usage after warm save = %+v", u)
+	}
+
+	// The hook fires after the mine snapshots its input: delete the database
+	// right there, so the save races the settled refund.
+	s.mineHook = func() {
+		del := httptest.NewRequest("DELETE", "/db/d", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, del)
+		if rec.Code != http.StatusNoContent {
+			t.Errorf("mid-mine delete: %d %s", rec.Code, rec.Body)
+		}
+	}
+	resp, err := sh.mine(context.Background(), e, MineRequest{SaveAs: "leak"}, 2)
+	s.mineHook = nil
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.SaveSkipped || resp.SavedAs != "" {
+		t.Fatalf("save against deleted db must be skipped: %+v", resp)
+	}
+	if u := s.gov.Usage(DefaultTenant); u.DBs != 0 || u.PatternBytes != 0 {
+		t.Fatalf("leaked quota after delete-mid-mine: %+v", u)
+	}
+}
+
+// TestQuotaZeroAfterConcurrentChurn hammers saving mines against concurrent
+// deletes and re-uploads from multiple goroutines, then deletes everything:
+// whatever interleavings happened, every tenant's accounted usage must return
+// to exactly zero — the -race companion to the exactly-once audit above.
+func TestQuotaZeroAfterConcurrentChurn(t *testing.T) {
+	s := New(WithShards(2))
+	defer s.Shutdown(context.Background())
+	h := s.Handler()
+
+	send := func(tenant, method, path, body string) int {
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		req.Header.Set(TenantHeader, tenant)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code
+	}
+
+	const rounds = 25
+	ids := []string{"churn-a", "churn-b"}
+	tenants := []string{"alice", "bob"}
+	for i, id := range ids {
+		if code := send(tenants[i], "PUT", "/db/"+id, "1 2\n1 2\n2 3\n1 3\n"); code != http.StatusCreated {
+			t.Fatalf("put %s: %d", id, code)
+		}
+	}
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(tenant, id string) { // saving miner
+			defer wg.Done()
+			for k := 0; k < rounds; k++ {
+				send(tenant, "POST", "/db/"+id+"/mine", `{"min_count":2,"save_as":"r"}`)
+			}
+		}(tenants[i], id)
+		wg.Add(1)
+		go func(tenant, id string) { // churner: delete and re-upload
+			defer wg.Done()
+			for k := 0; k < rounds; k++ {
+				send(tenant, "DELETE", "/db/"+id, "")
+				send(tenant, "PUT", "/db/"+id, "1 2\n2 3\n")
+			}
+		}(tenants[i], id)
+	}
+	wg.Wait()
+
+	for _, id := range ids {
+		send("alice", "DELETE", "/db/"+id, "")
+	}
+	for _, tenant := range tenants {
+		if u := s.gov.Usage(tenant); u.DBs != 0 || u.PatternBytes != 0 || u.QueuedJobs != 0 {
+			t.Fatalf("tenant %s usage after full churn and delete = %+v, want zero", tenant, u)
+		}
+	}
+}
+
+// TestFailedAsyncJobReleasesSlot proves a job that errors (mining a saved
+// set that does not exist) still frees its tenant job slot.
+func TestFailedAsyncJobReleasesSlot(t *testing.T) {
+	s := New(WithQuotas(shard.Quotas{MaxQueuedJobs: 1}))
+	defer s.Shutdown(context.Background())
+	h := s.Handler()
+
+	put := httptest.NewRequest("PUT", "/db/d", strings.NewReader("1 2\n1 2\n"))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, put)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("put: %d %s", rec.Code, rec.Body)
+	}
+	req := httptest.NewRequest("POST", "/db/d/mine?async=1", strings.NewReader(`{"min_count":1,"use":"nope"}`))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", rec.Code, rec.Body)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.gov.Usage(DefaultTenant).QueuedJobs != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("failed job never released its slot: %+v", s.gov.Usage(DefaultTenant))
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }

@@ -212,6 +212,26 @@ func (g *Governor) AddPatternBytes(tenant string, n int64) {
 	g.pruneLocked(tenant)
 }
 
+// Restore credits tenant with usage recovered from durable storage at boot,
+// bypassing admission: state that already exists on disk is never rejected,
+// even when a quota was lowered between restarts (the tenant is simply over
+// quota until they free something — the same high-water-mark discipline as
+// AddPatternBytes).
+func (g *Governor) Restore(tenant string, dbs int, patternBytes int64) {
+	if g == nil || (dbs == 0 && patternBytes == 0) {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	u := g.usageLocked(tenant)
+	u.DBs += dbs
+	u.PatternBytes += patternBytes
+	if u.PatternBytes < 0 {
+		u.PatternBytes = 0
+	}
+	g.pruneLocked(tenant)
+}
+
 // Usage returns tenant's current accounted consumption.
 func (g *Governor) Usage(tenant string) Usage {
 	if g == nil {

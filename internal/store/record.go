@@ -1,0 +1,124 @@
+package store
+
+import (
+	"encoding/binary"
+	"math"
+	"strconv"
+
+	"gogreen/internal/mining"
+)
+
+// encoder builds one record payload: a kind byte, the database id, then
+// kind-specific header fields, then (for pattern records) a patternio text
+// body. Header fields are uvarints and length-prefixed strings so payloads
+// are position-independent — compaction copies bodies verbatim.
+type encoder struct {
+	buf []byte
+}
+
+func newEncoder(kind byte, id string) *encoder {
+	e := &encoder{buf: make([]byte, 0, 64+len(id))}
+	e.buf = append(e.buf, kind)
+	e.string(id)
+	return e
+}
+
+func (e *encoder) string(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *encoder) float(f float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(f))
+}
+
+// patterns appends the patternio v1 text form of fp — the same bytes
+// patternio.Write emits, so LoadSets/LoadRungs parse bodies with
+// patternio.Read and a persisted set is byte-identical to its exported form.
+func (e *encoder) patterns(fp []mining.Pattern, minCount int) {
+	e.buf = append(e.buf, "# gogreen patterns v1\n"...)
+	if minCount > 0 {
+		e.buf = append(e.buf, "# minsupport "...)
+		e.buf = strconv.AppendInt(e.buf, int64(minCount), 10)
+		e.buf = append(e.buf, '\n')
+	}
+	for i := range fp {
+		for j, it := range fp[i].Items {
+			if j > 0 {
+				e.buf = append(e.buf, ',')
+			}
+			e.buf = strconv.AppendInt(e.buf, int64(it), 10)
+		}
+		e.buf = append(e.buf, ':')
+		e.buf = strconv.AppendInt(e.buf, int64(fp[i].Support), 10)
+		e.buf = append(e.buf, '\n')
+	}
+}
+
+// decoder walks a record payload's header fields; err is sticky and pos
+// marks where the body (if any) begins once the header is consumed.
+type decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrCorrupt
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || d.pos >= len(d.buf) {
+		d.fail()
+		return 0
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s
+}
+
+func (d *decoder) float() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return math.Float64frombits(v)
+}

@@ -1,0 +1,1121 @@
+// Package store is the disk-backed pattern store: it makes the service's
+// three kinds of mined-knowledge state — uploaded databases, saved pattern
+// sets, and installed lattice rungs — survive process restarts. The paper's
+// premise is that mined pattern sets are assets worth keeping and reusing
+// across requests; persisting them extends the same recycling economics
+// across process lifetimes (and, with cold-tenant spill, beyond what fits in
+// memory).
+//
+// # On-disk layout
+//
+// A store owns one directory:
+//
+//	MANIFEST          which segments are live, in replay order
+//	seg-00000001.log  append-only record log (sealed)
+//	seg-00000002.log  append-only record log (active — appends go here)
+//
+// Every mutation appends one checksummed record to the active segment and
+// fsyncs before the caller acknowledges, so an acknowledged write survives a
+// crash at any instant. Records are never rewritten in place; logically
+// replaced or deleted state becomes garbage that the background snapshot
+// (Compact, or the StartSnapshots ticker) rewrites away: compaction streams
+// the live records into a fresh segment, atomically swaps the manifest, and
+// deletes the old segments.
+//
+// # Recovery
+//
+// Open replays the manifest's segments in order, rebuilding the in-memory
+// index (which maps each database id to the file offsets of its latest
+// records — patterns themselves stay on disk until loaded). A crash can tear
+// the tail of the *last* (active) segment only; Open detects the torn tail
+// by length/checksum and truncates it, recovering exactly the records whose
+// fsync was acknowledged. A checksum failure anywhere before the tail is
+// real corruption and fails Open with ErrCorrupt.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"gogreen/internal/dataset"
+	"gogreen/internal/mining"
+	"gogreen/internal/patternio"
+)
+
+// ErrCorrupt reports a segment whose body (not its torn tail) fails
+// validation: a bad magic, a record checksum mismatch before the final
+// record, or an undecodable payload.
+var ErrCorrupt = errors.New("store: corrupt segment")
+
+// ErrClosed reports use of a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// ErrNotFound reports a load of a database the store does not hold.
+var ErrNotFound = errors.New("store: no such database")
+
+// segMagic opens every segment file; the trailing byte versions the record
+// format.
+const segMagic = "GGSEG\x00\x00\x01"
+
+// manifestMagic is the first line of the MANIFEST file.
+const manifestMagic = "# gogreen store manifest v1"
+
+// maxRecordBytes bounds one record's payload — a guard against reading a
+// corrupt length as an allocation size.
+const maxRecordBytes = 1 << 30
+
+// DefaultMaxSegmentBytes is the rotation threshold for the active segment.
+const DefaultMaxSegmentBytes = 64 << 20
+
+// Record kinds. A putDB record resets the database's sets and rungs (the
+// upload semantics of the service: replacing a database drops its derived
+// state); dropRungs clears the lattice ladder only.
+const (
+	kindPutDB     = 1
+	kindDeleteDB  = 2
+	kindPutSet    = 3
+	kindPutRung   = 4
+	kindDropRungs = 5
+)
+
+// crcTable is Castagnoli, the polynomial with hardware support on amd64 and
+// arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// recordRef locates one record's payload inside a segment file.
+type recordRef struct {
+	seg int64 // segment sequence number
+	off int64 // payload offset within the file
+	n   int   // payload length
+}
+
+// setState is the index entry of one saved pattern set.
+type setState struct {
+	ref      recordRef
+	minCount int
+	patterns int
+	items    int64
+	saved    int64 // unix nanos
+}
+
+// rungState is the index entry of one installed lattice rung.
+type rungState struct {
+	ref      recordRef
+	patterns int
+	items    int64
+}
+
+// dbState is the index entry of one database: stub metadata resident in
+// memory, pattern payloads on disk.
+type dbState struct {
+	tenant   string
+	numTx    int
+	numItems int
+	avgLen   float64
+	db       recordRef
+	sets     map[string]*setState
+	rungs    map[int]*rungState
+}
+
+// Store is a disk-backed pattern store over one directory. All methods are
+// safe for concurrent use.
+type Store struct {
+	dir    string
+	maxSeg int64
+
+	mu        sync.Mutex
+	closed    bool
+	segs      []int64            // live segments in replay order; last is active
+	files     map[int64]*os.File // open handles (reads via ReadAt, appends on active)
+	sizes     map[int64]int64    // current byte size per live segment
+	index     map[string]*dbState
+	garbage   int64 // bytes of dead records, reset by compaction
+	compacted int64 // compactions run (stats)
+
+	tick chan struct{} // non-nil while the snapshot ticker runs
+	done chan struct{}
+}
+
+// Options configures Open.
+type Options struct {
+	// MaxSegmentBytes rotates the active segment past this size;
+	// <= 0 means DefaultMaxSegmentBytes.
+	MaxSegmentBytes int64
+}
+
+// Open opens (creating if needed) the store directory and recovers its
+// state: the manifest is replayed segment by segment, a torn tail on the
+// active segment is truncated, and segments the manifest does not list
+// (orphans of a crashed rotation or compaction) are deleted.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:    dir,
+		maxSeg: opts.MaxSegmentBytes,
+		files:  map[int64]*os.File{},
+		sizes:  map[int64]int64{},
+		index:  map[string]*dbState{},
+	}
+	if s.maxSeg <= 0 {
+		s.maxSeg = DefaultMaxSegmentBytes
+	}
+	if err := s.recover(); err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	return s, nil
+}
+
+// segPath names a segment file.
+func (s *Store) segPath(seq int64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("seg-%08d.log", seq))
+}
+
+// recover loads the manifest, replays the live segments, deletes orphans,
+// and ensures an active segment exists; caller is Open (no lock needed yet).
+func (s *Store) recover() error {
+	segs, err := readManifest(filepath.Join(s.dir, "MANIFEST"))
+	if err != nil {
+		return err
+	}
+	s.segs = segs
+	for i, seq := range s.segs {
+		if err := s.replaySegment(seq, i == len(s.segs)-1); err != nil {
+			return err
+		}
+	}
+	// Orphans: segment files a crashed rotation/compaction left behind but
+	// the manifest never adopted. They hold no acknowledged state.
+	listed := map[int64]bool{}
+	for _, seq := range s.segs {
+		listed[seq] = true
+	}
+	names, err := filepath.Glob(filepath.Join(s.dir, "seg-*.log"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, name := range names {
+		var seq int64
+		if _, err := fmt.Sscanf(filepath.Base(name), "seg-%d.log", &seq); err != nil {
+			continue
+		}
+		if !listed[seq] {
+			os.Remove(name)
+		}
+	}
+	if len(s.segs) == 0 {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySegment loads one segment into the index. last marks the active
+// segment, whose torn tail (if any) is truncated rather than rejected.
+func (s *Store) replaySegment(seq int64, last bool) error {
+	path := s.segPath(seq)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	size, err := replayRecords(f, func(ref recordRef, payload []byte) error {
+		return s.applyLocked(seq, ref, payload)
+	}, seq)
+	if err != nil {
+		if !errors.Is(err, errTornTail) {
+			f.Close()
+			return err
+		}
+		if !last {
+			f.Close()
+			return fmt.Errorf("%w: segment %d has a torn tail but is not the active segment", ErrCorrupt, seq)
+		}
+		// Crash mid-append: drop the unacknowledged tail.
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return fmt.Errorf("store: truncate torn tail: %w", err)
+		}
+		if size == 0 {
+			// Even the magic header was torn — restore it so the segment
+			// stays appendable.
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				f.Close()
+				return fmt.Errorf("store: %w", err)
+			}
+			if _, err := f.WriteString(segMagic); err != nil {
+				f.Close()
+				return fmt.Errorf("store: %w", err)
+			}
+			size = int64(len(segMagic))
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.files[seq] = f
+	s.sizes[seq] = size
+	return nil
+}
+
+// errTornTail distinguishes an incomplete final record (a crash mid-append,
+// recoverable by truncation) from body corruption.
+var errTornTail = errors.New("store: torn tail")
+
+// replayRecords streams every valid record of one segment into apply and
+// returns the byte offset of the end of the last valid record. A record cut
+// short or failing its checksum yields errTornTail with the good prefix
+// length; corruption *behind* a valid record cannot be distinguished from a
+// torn tail by format alone, so the caller decides by position (only the
+// active segment may have one).
+func replayRecords(f *os.File, apply func(ref recordRef, payload []byte) error, seq int64) (int64, error) {
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, errTornTail // zero-length or partial header: treat as empty
+		}
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	if string(magic) != segMagic {
+		return 0, fmt.Errorf("%w: bad segment magic", ErrCorrupt)
+	}
+	off := int64(len(segMagic))
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF {
+				return off, nil
+			}
+			if err == io.ErrUnexpectedEOF {
+				return off, errTornTail
+			}
+			return off, fmt.Errorf("store: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxRecordBytes {
+			return off, errTornTail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return off, errTornTail
+			}
+			return off, fmt.Errorf("store: %w", err)
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			return off, errTornTail
+		}
+		if err := apply(recordRef{seg: seq, off: off + 8, n: int(n)}, payload); err != nil {
+			return off, err
+		}
+		off += 8 + int64(n)
+	}
+}
+
+// applyLocked folds one record into the index (Open holds no lock; runtime
+// callers hold s.mu).
+func (s *Store) applyLocked(seq int64, ref recordRef, payload []byte) error {
+	d := &decoder{buf: payload}
+	kind := d.byte()
+	id := d.string()
+	switch kind {
+	case kindPutDB:
+		tenant := d.string()
+		numTx := int(d.uvarint())
+		numItems := int(d.uvarint())
+		avgLen := d.float()
+		if d.err != nil {
+			return fmt.Errorf("%w: bad putDB record", ErrCorrupt)
+		}
+		if old, ok := s.index[id]; ok {
+			s.garbage += stateBytes(old)
+		}
+		s.index[id] = &dbState{
+			tenant: tenant, numTx: numTx, numItems: numItems, avgLen: avgLen,
+			db:   recordRef{seg: seq, off: ref.off + int64(d.pos), n: ref.n - d.pos},
+			sets: map[string]*setState{}, rungs: map[int]*rungState{},
+		}
+	case kindDeleteDB:
+		if d.err != nil {
+			return fmt.Errorf("%w: bad deleteDB record", ErrCorrupt)
+		}
+		if old, ok := s.index[id]; ok {
+			s.garbage += stateBytes(old) + int64(ref.n)
+			delete(s.index, id)
+		}
+	case kindPutSet:
+		name := d.string()
+		minCount := int(d.uvarint())
+		saved := int64(d.uvarint())
+		patterns := int(d.uvarint())
+		items := int64(d.uvarint())
+		if d.err != nil {
+			return fmt.Errorf("%w: bad putSet record", ErrCorrupt)
+		}
+		db, ok := s.index[id]
+		if !ok {
+			return nil // set for a dropped database: dead record
+		}
+		if old, ok := db.sets[name]; ok {
+			s.garbage += int64(old.ref.n)
+		}
+		db.sets[name] = &setState{
+			ref:      recordRef{seg: seq, off: ref.off + int64(d.pos), n: ref.n - d.pos},
+			minCount: minCount, patterns: patterns, items: items, saved: saved,
+		}
+	case kindPutRung:
+		minCount := int(d.uvarint())
+		patterns := int(d.uvarint())
+		items := int64(d.uvarint())
+		if d.err != nil {
+			return fmt.Errorf("%w: bad putRung record", ErrCorrupt)
+		}
+		db, ok := s.index[id]
+		if !ok {
+			return nil
+		}
+		if old, ok := db.rungs[minCount]; ok {
+			s.garbage += int64(old.ref.n)
+		}
+		db.rungs[minCount] = &rungState{
+			ref:      recordRef{seg: seq, off: ref.off + int64(d.pos), n: ref.n - d.pos},
+			patterns: patterns, items: items,
+		}
+	case kindDropRungs:
+		if d.err != nil {
+			return fmt.Errorf("%w: bad dropRungs record", ErrCorrupt)
+		}
+		if db, ok := s.index[id]; ok {
+			for _, r := range db.rungs {
+				s.garbage += int64(r.ref.n)
+			}
+			db.rungs = map[int]*rungState{}
+		}
+	default:
+		return fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, kind)
+	}
+	return nil
+}
+
+// stateBytes sums the payload bytes a database's records occupy on disk —
+// the garbage created when the database is replaced or deleted.
+func stateBytes(d *dbState) int64 {
+	n := int64(d.db.n)
+	for _, set := range d.sets {
+		n += int64(set.ref.n)
+	}
+	for _, r := range d.rungs {
+		n += int64(r.ref.n)
+	}
+	return n
+}
+
+// readManifest parses the MANIFEST file into the live segment list; a
+// missing file is an empty store.
+func readManifest(path string) ([]int64, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	if len(lines) == 0 || string(lines[0]) != manifestMagic {
+		return nil, fmt.Errorf("%w: bad manifest header", ErrCorrupt)
+	}
+	var segs []int64
+	for _, line := range lines[1:] {
+		text := string(bytes.TrimSpace(line))
+		if text == "" {
+			continue
+		}
+		seq, err := strconv.ParseInt(text, 10, 64)
+		if err != nil || seq < 1 {
+			return nil, fmt.Errorf("%w: bad manifest entry %q", ErrCorrupt, text)
+		}
+		segs = append(segs, seq)
+	}
+	return segs, nil
+}
+
+// writeManifestLocked atomically replaces the MANIFEST with the given
+// segment list (temp file, fsync, rename, fsync directory).
+func (s *Store) writeManifestLocked(segs []int64) error {
+	var buf bytes.Buffer
+	buf.WriteString(manifestMagic)
+	buf.WriteByte('\n')
+	for _, seq := range segs {
+		fmt.Fprintf(&buf, "%d\n", seq)
+	}
+	tmp := filepath.Join(s.dir, "MANIFEST.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, "MANIFEST")); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return syncDir(s.dir)
+}
+
+// syncDir fsyncs a directory so renames and creations inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment (if any) and starts the next one,
+// adopting it into the manifest before any record lands in it.
+func (s *Store) rotateLocked() error {
+	next := int64(1)
+	if n := len(s.segs); n > 0 {
+		next = s.segs[n-1] + 1
+	}
+	f, err := os.OpenFile(s.segPath(next), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.WriteString(segMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	segs := append(append([]int64{}, s.segs...), next)
+	if err := s.writeManifestLocked(segs); err != nil {
+		f.Close()
+		os.Remove(s.segPath(next))
+		return err
+	}
+	s.segs = segs
+	s.files[next] = f
+	s.sizes[next] = int64(len(segMagic))
+	return nil
+}
+
+// appendLocked writes one record to the active segment and fsyncs it,
+// rotating first when the active segment is full.
+func (s *Store) appendLocked(payload []byte) (recordRef, error) {
+	if s.closed {
+		return recordRef{}, ErrClosed
+	}
+	active := s.segs[len(s.segs)-1]
+	if s.sizes[active] >= s.maxSeg {
+		if err := s.rotateLocked(); err != nil {
+			return recordRef{}, err
+		}
+		active = s.segs[len(s.segs)-1]
+	}
+	f := s.files[active]
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	off := s.sizes[active]
+	if _, err := f.Write(hdr[:]); err != nil {
+		return recordRef{}, fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		return recordRef{}, fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return recordRef{}, fmt.Errorf("store: %w", err)
+	}
+	s.sizes[active] = off + 8 + int64(len(payload))
+	return recordRef{seg: active, off: off + 8, n: len(payload)}, nil
+}
+
+// readPayload reads one record payload back from its segment.
+func (s *Store) readPayload(ref recordRef) ([]byte, error) {
+	s.mu.Lock()
+	f := s.files[ref.seg]
+	s.mu.Unlock()
+	if f == nil {
+		return nil, fmt.Errorf("store: segment %d is gone", ref.seg)
+	}
+	out := make([]byte, ref.n)
+	if _, err := f.ReadAt(out, ref.off); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return out, nil
+}
+
+// PutDB makes an uploaded database durable, resetting its saved sets and
+// rungs (upload semantics: replacing a database drops derived state). The
+// call returns only after the record is fsync'd.
+func (s *Store) PutDB(id, tenant string, db *dataset.DB) error {
+	st := db.Stats()
+	e := newEncoder(kindPutDB, id)
+	e.string(tenant)
+	e.uvarint(uint64(st.NumTx))
+	e.uvarint(uint64(st.NumItems))
+	e.float(st.AvgLen)
+	bodyAt := len(e.buf)
+	writeBasketIDs(&e.buf, db)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ref, err := s.appendLocked(e.buf)
+	if err != nil {
+		return err
+	}
+	if old, ok := s.index[id]; ok {
+		s.garbage += stateBytes(old)
+	}
+	s.index[id] = &dbState{
+		tenant: tenant, numTx: st.NumTx, numItems: st.NumItems, avgLen: st.AvgLen,
+		db:   recordRef{seg: ref.seg, off: ref.off + int64(bodyAt), n: ref.n - bodyAt},
+		sets: map[string]*setState{}, rungs: map[int]*rungState{},
+	}
+	return nil
+}
+
+// DeleteDB makes a database drop durable (tombstone record).
+func (s *Store) DeleteDB(id string) error {
+	e := newEncoder(kindDeleteDB, id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[id]; !ok {
+		return nil // nothing durable to drop
+	}
+	ref, err := s.appendLocked(e.buf)
+	if err != nil {
+		return err
+	}
+	s.garbage += stateBytes(s.index[id]) + int64(ref.n)
+	delete(s.index, id)
+	return nil
+}
+
+// PutSet makes one saved pattern set durable under (db id, name).
+func (s *Store) PutSet(dbID, name string, minCount int, saved time.Time, fp []mining.Pattern) error {
+	var items int64
+	for i := range fp {
+		items += int64(len(fp[i].Items))
+	}
+	e := newEncoder(kindPutSet, dbID)
+	e.string(name)
+	e.uvarint(uint64(minCount))
+	e.uvarint(uint64(saved.UnixNano()))
+	e.uvarint(uint64(len(fp)))
+	e.uvarint(uint64(items))
+	bodyAt := len(e.buf)
+	e.patterns(fp, minCount)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db, ok := s.index[dbID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, dbID)
+	}
+	ref, err := s.appendLocked(e.buf)
+	if err != nil {
+		return err
+	}
+	if old, ok := db.sets[name]; ok {
+		s.garbage += int64(old.ref.n)
+	}
+	db.sets[name] = &setState{
+		ref:      recordRef{seg: ref.seg, off: ref.off + int64(bodyAt), n: ref.n - bodyAt},
+		minCount: minCount, patterns: len(fp), items: items, saved: saved.UnixNano(),
+	}
+	return nil
+}
+
+// PutRung makes one installed lattice rung durable under (db id, minCount).
+func (s *Store) PutRung(dbID string, minCount int, fp []mining.Pattern) error {
+	var items int64
+	for i := range fp {
+		items += int64(len(fp[i].Items))
+	}
+	e := newEncoder(kindPutRung, dbID)
+	e.uvarint(uint64(minCount))
+	e.uvarint(uint64(len(fp)))
+	e.uvarint(uint64(items))
+	bodyAt := len(e.buf)
+	e.patterns(fp, minCount)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db, ok := s.index[dbID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, dbID)
+	}
+	ref, err := s.appendLocked(e.buf)
+	if err != nil {
+		return err
+	}
+	if old, ok := db.rungs[minCount]; ok {
+		s.garbage += int64(old.ref.n)
+	}
+	db.rungs[minCount] = &rungState{
+		ref:      recordRef{seg: ref.seg, off: ref.off + int64(bodyAt), n: ref.n - bodyAt},
+		patterns: len(fp), items: items,
+	}
+	return nil
+}
+
+// DropRungs makes a lattice invalidation durable: the database's persisted
+// ladder is cleared.
+func (s *Store) DropRungs(dbID string) error {
+	e := newEncoder(kindDropRungs, dbID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db, ok := s.index[dbID]
+	if !ok || len(db.rungs) == 0 {
+		return nil
+	}
+	if _, err := s.appendLocked(e.buf); err != nil {
+		return err
+	}
+	for _, r := range db.rungs {
+		s.garbage += int64(r.ref.n)
+	}
+	db.rungs = map[int]*rungState{}
+	return nil
+}
+
+// SetMeta describes one saved pattern set without loading its patterns.
+type SetMeta struct {
+	Name     string
+	MinCount int
+	Patterns int
+	Items    int64 // total item cells across the set (cost-model input)
+	Saved    time.Time
+}
+
+// DBMeta describes one stored database without loading its content — the
+// boot-time stub the server registers before any rehydration.
+type DBMeta struct {
+	ID       string
+	Tenant   string
+	NumTx    int
+	NumItems int
+	AvgLen   float64
+	Sets     []SetMeta
+	Rungs    int
+}
+
+// List enumerates the stored databases (sorted by id) as stub metadata.
+func (s *Store) List() []DBMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DBMeta, 0, len(s.index))
+	for id, d := range s.index {
+		m := DBMeta{ID: id, Tenant: d.tenant, NumTx: d.numTx,
+			NumItems: d.numItems, AvgLen: d.avgLen, Rungs: len(d.rungs)}
+		for name, set := range d.sets {
+			m.Sets = append(m.Sets, SetMeta{Name: name, MinCount: set.minCount,
+				Patterns: set.patterns, Items: set.items, Saved: time.Unix(0, set.saved)})
+		}
+		sort.Slice(m.Sets, func(i, j int) bool { return m.Sets[i].Name < m.Sets[j].Name })
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Set is one rehydrated saved pattern set.
+type Set struct {
+	Name     string
+	MinCount int
+	Saved    time.Time
+	Patterns []mining.Pattern
+}
+
+// Rung is one rehydrated lattice rung.
+type Rung struct {
+	MinCount int
+	Patterns []mining.Pattern
+}
+
+// LoadDB rehydrates a stored database.
+func (s *Store) LoadDB(id string) (*dataset.DB, error) {
+	s.mu.Lock()
+	d, ok := s.index[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	ref := d.db
+	s.mu.Unlock()
+	payload, err := s.readPayload(ref)
+	if err != nil {
+		return nil, err
+	}
+	db, err := dataset.ReadBasketIDs(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("store: db %q: %w", id, err)
+	}
+	return db, nil
+}
+
+// LoadSets rehydrates every saved pattern set of a database.
+func (s *Store) LoadSets(id string) ([]Set, error) {
+	s.mu.Lock()
+	d, ok := s.index[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	type pending struct {
+		name     string
+		minCount int
+		saved    int64
+		ref      recordRef
+	}
+	refs := make([]pending, 0, len(d.sets))
+	for name, set := range d.sets {
+		refs = append(refs, pending{name, set.minCount, set.saved, set.ref})
+	}
+	s.mu.Unlock()
+	sort.Slice(refs, func(i, j int) bool { return refs[i].name < refs[j].name })
+	out := make([]Set, 0, len(refs))
+	for _, p := range refs {
+		fp, err := s.loadPatterns(p.ref)
+		if err != nil {
+			return nil, fmt.Errorf("store: set %q/%q: %w", id, p.name, err)
+		}
+		out = append(out, Set{Name: p.name, MinCount: p.minCount,
+			Saved: time.Unix(0, p.saved), Patterns: fp})
+	}
+	return out, nil
+}
+
+// LoadRungs rehydrates a database's persisted lattice ladder, ascending by
+// threshold.
+func (s *Store) LoadRungs(id string) ([]Rung, error) {
+	s.mu.Lock()
+	d, ok := s.index[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	type pending struct {
+		minCount int
+		ref      recordRef
+	}
+	refs := make([]pending, 0, len(d.rungs))
+	for minCount, r := range d.rungs {
+		refs = append(refs, pending{minCount, r.ref})
+	}
+	s.mu.Unlock()
+	sort.Slice(refs, func(i, j int) bool { return refs[i].minCount < refs[j].minCount })
+	out := make([]Rung, 0, len(refs))
+	for _, p := range refs {
+		fp, err := s.loadPatterns(p.ref)
+		if err != nil {
+			return nil, fmt.Errorf("store: rung %q@%d: %w", id, p.minCount, err)
+		}
+		out = append(out, Rung{MinCount: p.minCount, Patterns: fp})
+	}
+	return out, nil
+}
+
+// loadPatterns reads and parses one pattern-set payload body.
+func (s *Store) loadPatterns(ref recordRef) ([]mining.Pattern, error) {
+	payload, err := s.readPayload(ref)
+	if err != nil {
+		return nil, err
+	}
+	set, err := patternio.Read(bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	return set.Patterns, nil
+}
+
+// Compact rewrites the live records into a fresh segment and drops the old
+// ones — the snapshot step of the snapshot/compaction ticker. The manifest
+// swap is atomic; a crash at any point leaves either the old or the new
+// segment list fully live.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	old := append([]int64{}, s.segs...)
+	next := old[len(old)-1] + 1
+
+	// Stream the live records into the compacted segment. Payload bytes are
+	// copied verbatim (they are position-independent), so compaction never
+	// re-encodes.
+	f, err := os.OpenFile(s.segPath(next), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	abort := func(err error) error {
+		f.Close()
+		os.Remove(s.segPath(next))
+		return err
+	}
+	if _, err := f.WriteString(segMagic); err != nil {
+		return abort(fmt.Errorf("store: %w", err))
+	}
+	ids := make([]string, 0, len(s.index))
+	for id := range s.index {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	off := int64(len(segMagic))
+	newIndex := make(map[string]*dbState, len(s.index))
+	copyRecord := func(ref recordRef, rebuild func(body []byte) []byte) (recordRef, error) {
+		body := make([]byte, ref.n)
+		if _, err := s.files[ref.seg].ReadAt(body, ref.off); err != nil {
+			return recordRef{}, fmt.Errorf("store: compact read: %w", err)
+		}
+		payload := rebuild(body)
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+		if _, err := f.Write(hdr[:]); err != nil {
+			return recordRef{}, fmt.Errorf("store: %w", err)
+		}
+		if _, err := f.Write(payload); err != nil {
+			return recordRef{}, fmt.Errorf("store: %w", err)
+		}
+		ref = recordRef{seg: next, off: off + 8, n: len(payload)}
+		off += 8 + int64(len(payload))
+		return ref, nil
+	}
+	for _, id := range ids {
+		d := s.index[id]
+		nd := &dbState{tenant: d.tenant, numTx: d.numTx, numItems: d.numItems,
+			avgLen: d.avgLen, sets: map[string]*setState{}, rungs: map[int]*rungState{}}
+		// The stored ref points at the payload *body*; re-encoding the header
+		// around it reproduces the full record.
+		headBytes := 0
+		ref, err := copyRecord(d.db, func(body []byte) []byte {
+			e := newEncoder(kindPutDB, id)
+			e.string(d.tenant)
+			e.uvarint(uint64(d.numTx))
+			e.uvarint(uint64(d.numItems))
+			e.float(d.avgLen)
+			headBytes = len(e.buf)
+			return append(e.buf, body...)
+		})
+		if err != nil {
+			return abort(err)
+		}
+		nd.db = recordRef{seg: ref.seg, off: ref.off + int64(headBytes), n: ref.n - headBytes}
+		for name, set := range d.sets {
+			set := set
+			ref, err := copyRecord(set.ref, func(body []byte) []byte {
+				e := newEncoder(kindPutSet, id)
+				e.string(name)
+				e.uvarint(uint64(set.minCount))
+				e.uvarint(uint64(set.saved))
+				e.uvarint(uint64(set.patterns))
+				e.uvarint(uint64(set.items))
+				headBytes = len(e.buf)
+				return append(e.buf, body...)
+			})
+			if err != nil {
+				return abort(err)
+			}
+			nd.sets[name] = &setState{
+				ref:      recordRef{seg: ref.seg, off: ref.off + int64(headBytes), n: ref.n - headBytes},
+				minCount: set.minCount, patterns: set.patterns, items: set.items, saved: set.saved,
+			}
+		}
+		for minCount, r := range d.rungs {
+			r := r
+			ref, err := copyRecord(r.ref, func(body []byte) []byte {
+				e := newEncoder(kindPutRung, id)
+				e.uvarint(uint64(minCount))
+				e.uvarint(uint64(r.patterns))
+				e.uvarint(uint64(r.items))
+				headBytes = len(e.buf)
+				return append(e.buf, body...)
+			})
+			if err != nil {
+				return abort(err)
+			}
+			nd.rungs[minCount] = &rungState{
+				ref:      recordRef{seg: ref.seg, off: ref.off + int64(headBytes), n: ref.n - headBytes},
+				patterns: r.patterns, items: r.items,
+			}
+		}
+		newIndex[id] = nd
+	}
+	if err := f.Sync(); err != nil {
+		return abort(fmt.Errorf("store: %w", err))
+	}
+
+	// Fresh active segment after the snapshot, then the atomic manifest swap
+	// makes [snapshot, active] the live list.
+	activeSeq := next + 1
+	af, err := os.OpenFile(s.segPath(activeSeq), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return abort(fmt.Errorf("store: %w", err))
+	}
+	abortBoth := func(err error) error {
+		af.Close()
+		os.Remove(s.segPath(activeSeq))
+		return abort(err)
+	}
+	if _, err := af.WriteString(segMagic); err != nil {
+		return abortBoth(fmt.Errorf("store: %w", err))
+	}
+	if err := af.Sync(); err != nil {
+		return abortBoth(fmt.Errorf("store: %w", err))
+	}
+	if err := s.writeManifestLocked([]int64{next, activeSeq}); err != nil {
+		return abortBoth(err)
+	}
+
+	// Swap in the new world and reclaim the old segments.
+	for _, seq := range old {
+		s.files[seq].Close()
+		delete(s.files, seq)
+		delete(s.sizes, seq)
+		os.Remove(s.segPath(seq))
+	}
+	s.segs = []int64{next, activeSeq}
+	s.files[next], s.sizes[next] = f, off
+	s.files[activeSeq], s.sizes[activeSeq] = af, int64(len(segMagic))
+	s.index = newIndex
+	s.garbage = 0
+	s.compacted++
+	return nil
+}
+
+// StartSnapshots compacts the store every interval until Close. Compaction
+// is skipped while the log holds no garbage, so an idle store does not churn
+// its segment files.
+func (s *Store) StartSnapshots(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.tick != nil || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.tick, s.done = stop, done
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.mu.Lock()
+				dirty := s.garbage > 0
+				s.mu.Unlock()
+				if dirty {
+					s.Compact() // best-effort; next tick retries
+				}
+			}
+		}
+	}()
+}
+
+// Stats reports the store's occupancy for gauges and operator surfaces.
+type Stats struct {
+	Segments    int   `json:"segments"`
+	DiskBytes   int64 `json:"disk_bytes"`
+	Databases   int   `json:"databases"`
+	Garbage     int64 `json:"garbage_bytes"`
+	Compactions int64 `json:"compactions"`
+}
+
+// Stats returns current occupancy.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Segments: len(s.segs), Databases: len(s.index),
+		Garbage: s.garbage, Compactions: s.compacted}
+	for _, n := range s.sizes {
+		st.DiskBytes += n
+	}
+	return st
+}
+
+// Close stops the snapshot ticker and closes every segment file. Appends
+// after Close return ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	stop, done := s.tick, s.done
+	s.tick, s.done = nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closeFiles()
+	return nil
+}
+
+func (s *Store) closeFiles() {
+	for seq, f := range s.files {
+		f.Close()
+		delete(s.files, seq)
+	}
+}
+
+// writeBasketIDs serializes a database in numeric-id basket format (one
+// transaction per line), ignoring any dictionary so the round trip through
+// ReadBasketIDs is exact.
+func writeBasketIDs(buf *[]byte, db *dataset.DB) {
+	for _, t := range db.All() {
+		for j, it := range t {
+			if j > 0 {
+				*buf = append(*buf, ' ')
+			}
+			*buf = strconv.AppendInt(*buf, int64(it), 10)
+		}
+		*buf = append(*buf, '\n')
+	}
+}
