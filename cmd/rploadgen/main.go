@@ -8,13 +8,18 @@
 //	rploadgen -quick                  # CI-sized smoke run
 //	rploadgen -tenants 2000 -requests 10000 -conc 16 -shards 1,4
 //	rploadgen -addr localhost:8080    # drive an already-running rpserved
+//	rploadgen -quick -cluster 2 -rpserved ./rpserved   # spawn a real cluster
 //
 // In the default in-process mode the harness builds the service per shard
 // count and drives its handler directly (no sockets), so measured latencies
 // are the service stack — router, admission, locks, lattice, mining — not
 // loopback noise. With -addr it instead targets a live server over real
 // HTTP and reports a single entry (configure shards and quotas on the
-// server, via rpserved's flags).
+// server, via rpserved's flags). With -cluster N it spawns N `rpserved
+// -role shard` processes plus a router from the binary named by -rpserved,
+// drives the workload through the router over loopback HTTP, and reports a
+// "cluster" entry — comparing it against the "zipf" entry at the same shard
+// count prices the process boundary.
 //
 // The workload is deliberately cache-hostile: every tenant owns a small
 // database, the lattice budget is far below the working set, and tenant
@@ -27,15 +32,12 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
 	"gogreen/internal/bench"
-	"gogreen/internal/server"
 )
 
 func main() {
@@ -48,6 +50,8 @@ func main() {
 		shards   = flag.String("shards", "", "comma-separated shard-count grid (default 1,2,4,8; quick 1,2)")
 		budgetKB = flag.Int64("cache-budget-kb", 0, "lattice budget in KiB (0 = mode default)")
 		addr     = flag.String("addr", "", "drive a running service at this host:port instead of in-process servers")
+		cluster  = flag.Int("cluster", 0, "spawn this many shard processes plus a router and drive the cluster (needs -rpserved)")
+		rpserved = flag.String("rpserved", "", "path to a built rpserved binary (required with -cluster)")
 	)
 	flag.Parse()
 
@@ -77,9 +81,15 @@ func main() {
 		rep bench.ServeReport
 		err error
 	)
-	if *addr != "" {
-		rep, err = bench.ServeExternal(cfg, httpDoer(*addr), progress)
-	} else {
+	switch {
+	case *cluster > 0:
+		if *rpserved == "" {
+			log.Fatal("rploadgen: -cluster needs -rpserved pointing at a built rpserved binary")
+		}
+		rep, err = bench.ServeCluster(cfg, *rpserved, *cluster, progress)
+	case *addr != "":
+		rep, err = bench.ServeExternal(cfg, bench.HTTPDoer(*addr), progress)
+	default:
 		rep, err = bench.ServePerf(cfg, progress)
 	}
 	if err != nil {
@@ -108,30 +118,6 @@ func parseShards(s string) ([]int, error) {
 		out = append(out, n)
 	}
 	return out, nil
-}
-
-// httpDoer targets a live service over real HTTP.
-func httpDoer(addr string) func(method, path, tenant, body string) (int, error) {
-	base := addr
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
-	return func(method, path, tenant, body string) (int, error) {
-		req, err := http.NewRequest(method, base+path, strings.NewReader(body))
-		if err != nil {
-			return 0, err
-		}
-		if tenant != "" {
-			req.Header.Set(server.TenantHeader, tenant)
-		}
-		resp, err := http.DefaultClient.Do(req)
-		if err != nil {
-			return 0, err
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		return resp.StatusCode, nil
-	}
 }
 
 // summarize prints a human-readable table of the run to stderr.

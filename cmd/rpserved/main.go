@@ -8,7 +8,27 @@
 // The service scales horizontally in-process: -shards N puts a consistent-
 // hashing router in front of N engine shards, each owning its own database
 // map, job pool, and lattice store slice (GET /shards reports per-shard
-// occupancy). Tenants identify themselves with the X-Tenant request header;
+// occupancy).
+//
+// The same binary also deploys the ring across processes — the shape is
+// configuration, not code:
+//
+//	rpserved -role shard -shard-index 0 -addr :9000   # shard process 0
+//	rpserved -role shard -shard-index 1 -addr :9001   # shard process 1
+//	rpserved -role router -shard-addrs :9000,:9001    # public front
+//
+// A shard process is a complete single-shard server that mints ids for its
+// ring position ("s<i>-" job prefixes, shard i in /shards and lattice
+// responses); -shard-addrs must list the shards in -shard-index order. The
+// router forwards routed requests byte-for-byte (X-Tenant, quota 429s with
+// Retry-After, job-id prefixes all preserved), aggregates the listing
+// endpoints, and probes each shard's GET /healthz every -probe-interval: a
+// shard failing -probe-failures consecutive probes is ejected — its requests
+// answer 503 with code "shard_unavailable" and shard_unhealthy_total
+// increments — and rejoins on the next passing probe. Per-tenant quotas are
+// enforced by each shard process from its own flags.
+//
+// Tenants identify themselves with the X-Tenant request header;
 // -tenant-max-dbs, -tenant-max-jobs, and -tenant-max-pattern-mb bound what
 // one tenant may hold — over-quota requests get 429 with a Retry-After
 // header instead of degrading everyone else. All three default to unlimited.
@@ -85,14 +105,36 @@ func main() {
 		dataDir       = flag.String("data-dir", "", "durable data directory (empty = in-memory; uploads, saves and mined rungs survive restarts)")
 		snapshotEvery = flag.Duration("snapshot-interval", time.Minute, "segment snapshot/compaction cadence (with -data-dir)")
 		coldAfter     = flag.Duration("cold-after", 0, "spill databases untouched this long to disk stubs (0 = never; with -data-dir)")
+		role          = flag.String("role", "server", `process role: "server" (self-contained), "shard" (one shard of an external ring), "router" (front over -shard-addrs)`)
+		shardIndex    = flag.Int("shard-index", -1, "this shard's ring position (required with -role shard)")
+		shardAddrs    = flag.String("shard-addrs", "", "comma-separated shard addresses in -shard-index order (required with -role router)")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "shard health-probe cadence (with -role router)")
+		probeFailures = flag.Int("probe-failures", 3, "consecutive probe failures that eject a shard (with -role router)")
 	)
 	flag.Parse()
+
+	switch *role {
+	case "server":
+	case "shard":
+		if *shardIndex < 0 {
+			log.Fatal("rpserved: -role shard requires -shard-index")
+		}
+		if *shards > 1 {
+			log.Fatal("rpserved: a shard process runs one engine shard; scale with more processes, not -shards")
+		}
+	case "router":
+		runRouter(*addr, *shardAddrs, *probeInterval, *probeFailures, *drain)
+		return
+	default:
+		log.Fatalf("rpserved: unknown -role %q (want server, shard or router)", *role)
+	}
 
 	grid, err := parseRungs(*rungs)
 	if err != nil {
 		log.Fatalf("rpserved: %v", err)
 	}
 	srv, err := server.Open(
+		server.WithShardIndex(*shardIndex),
 		server.WithMaxBodyBytes(*maxBody<<20),
 		server.WithMineTimeout(*mineTimeout),
 		server.WithWorkers(*workers),
@@ -158,6 +200,54 @@ func main() {
 	}
 	if err := srv.Close(); err != nil {
 		log.Printf("rpserved: store close: %v", err)
+	}
+}
+
+// runRouter serves the public API over remote shard processes: forwarded
+// requests, aggregated listings, health probing with ejection. It owns no
+// mining state, so shutdown is just stopping the listener and the probes.
+func runRouter(addr, shardAddrs string, probeInterval time.Duration, probeFailures int, drain time.Duration) {
+	var addrs []string
+	for _, a := range strings.Split(shardAddrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		log.Fatal("rpserved: -role router requires -shard-addrs")
+	}
+	rt, err := server.NewRouter(addrs,
+		server.WithProbeInterval(probeInterval),
+		server.WithProbeFailures(probeFailures))
+	if err != nil {
+		log.Fatalf("rpserved: router: %v", err)
+	}
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           logRequests(rt.Handler()),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "rpserved: router for %d shards listening on %s\n", len(addrs), addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "rpserved: shutting down")
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		log.Printf("rpserved: http shutdown: %v", err)
+	}
+	if err := rt.Close(); err != nil {
+		log.Printf("rpserved: router close: %v", err)
 	}
 }
 

@@ -338,16 +338,7 @@ func ServePerf(cfg ServeConfig, progress func(string)) (ServeReport, error) {
 	if progress == nil {
 		progress = func(string) {}
 	}
-	rep := ServeReport{
-		Experiment:  "serve",
-		Quick:       cfg.Quick,
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		NumCPU:      runtime.NumCPU(),
-		Tenants:     cfg.Tenants,
-		CacheBudget: cfg.CacheBudget,
-		ZipfS:       cfg.ZipfS,
-	}
+	rep := newServeReport(cfg)
 	if runtime.NumCPU() == 1 {
 		rep.Warning = "single-core machine: multi-shard tail gains reflect smaller per-shard eviction scans and critical sections, not parallelism"
 	}
@@ -454,16 +445,7 @@ func ServeExternal(cfg ServeConfig, do serveDoer, progress func(string)) (ServeR
 	if progress == nil {
 		progress = func(string) {}
 	}
-	rep := ServeReport{
-		Experiment:  "serve",
-		Quick:       cfg.Quick,
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		NumCPU:      runtime.NumCPU(),
-		Tenants:     cfg.Tenants,
-		CacheBudget: cfg.CacheBudget,
-		ZipfS:       cfg.ZipfS,
-	}
+	rep := newServeReport(cfg)
 	baskets := serveBaskets(32)
 	progress(fmt.Sprintf("external target: uploading %d tenant databases", cfg.Tenants))
 	if err := uploadTenants(do, baskets, cfg.Tenants); err != nil {

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// localBackend adapts one in-process engineShard to the shard.Backend seam.
+// Serve is a direct handler call — zero marshalling, no socket — which is
+// what keeps the single-process deployment byte-compatible with (and as fast
+// as) the pre-seam server: the routed request reaches the same handler code
+// writing to the real ResponseWriter.
+type localBackend struct {
+	sh *engineShard
+	h  http.Handler
+}
+
+func newLocalBackend(sh *engineShard) *localBackend {
+	return &localBackend{sh: sh, h: sh.handler()}
+}
+
+// Serve implements shard.Backend. An in-process shard is always reachable,
+// so the error is always nil.
+func (b *localBackend) Serve(w http.ResponseWriter, r *http.Request) error {
+	b.h.ServeHTTP(w, r)
+	return nil
+}
+
+// memResponse is the in-memory ResponseWriter Fetch runs the shard handler
+// against (the prod-code stand-in for httptest.ResponseRecorder).
+type memResponse struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func (m *memResponse) Header() http.Header { return m.header }
+func (m *memResponse) WriteHeader(code int) {
+	if m.code == 0 {
+		m.code = code
+	}
+}
+func (m *memResponse) Write(p []byte) (int, error) {
+	m.WriteHeader(http.StatusOK)
+	return m.body.Write(p)
+}
+
+// Fetch implements shard.Backend: run the GET through the shard handler
+// in-memory and decode the JSON response.
+func (b *localBackend) Fetch(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	rec := &memResponse{header: http.Header{}}
+	b.h.ServeHTTP(rec, req)
+	if rec.code < 200 || rec.code > 299 {
+		return fmt.Errorf("%s%s: status %d", b.Addr(), path, rec.code)
+	}
+	if v == nil {
+		return nil
+	}
+	return json.Unmarshal(rec.body.Bytes(), v)
+}
+
+// Addr implements shard.Backend.
+func (b *localBackend) Addr() string { return fmtShardLabel(b.sh.id) }
+
+// Close implements shard.Backend: the engine shard's lifecycle belongs to
+// its Server (Shutdown/Close), not to the router.
+func (b *localBackend) Close() error { return nil }

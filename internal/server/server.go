@@ -32,8 +32,12 @@
 // fronts N engine shards, each exclusively owning its own database map and
 // lock, async job pool, lattice store slice, and per-shard metrics — there
 // is no global entry lock, so traffic on one shard never contends with
-// another's. The router speaks the same HTTP API at any shard count, which
-// is what makes a later multi-process deployment configuration, not code.
+// another's. The router reaches its shards only through the shard.Backend
+// seam: in this process as direct handler calls (localBackend), or across
+// processes as forwarded HTTP (shard.Remote) — see Router, NewRouter and
+// WithShardIndex for the multi-process deployment, where the same binary
+// runs as router or as a single shard and the deployment shape is
+// configuration, not code.
 //
 // Multi-tenant admission control (WithQuotas) bounds what one tenant — the
 // X-Tenant request header, "default" when absent — may hold: resident
@@ -66,6 +70,7 @@
 //	GET    /jobs/{id}               poll one job
 //	DELETE /jobs/{id}               cancel one job
 //	GET    /shards                  per-shard occupancy and queue stats
+//	GET    /healthz                 liveness (role, ring health census)
 //	GET    /metrics                 metrics snapshot (JSON)
 package server
 
@@ -77,7 +82,6 @@ import (
 	"net/http"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -123,6 +127,14 @@ type Server struct {
 	nshards int
 	ring    *shard.Ring
 	shards  []*engineShard
+
+	// shardIndex (-1 unless WithShardIndex) marks this process as one shard
+	// of an external ring: ids it mints carry that ring position.
+	shardIndex int
+
+	// router fronts the shards through the Backend seam; Handler and Routes
+	// delegate to it.
+	router *Router
 
 	// quotas/gov is the per-tenant admission controller; zero quotas admit
 	// everything.
@@ -258,6 +270,21 @@ func WithShards(n int) Option {
 	}
 }
 
+// WithShardIndex declares this server to be shard i of an external ring
+// (`rpserved -role shard -shard-index i`): job ids carry the "s<i>-"
+// prefix, /shards and lattice responses report shard i, and the durable
+// state lives under dataDir/shard-<i> — exactly what the in-process shard i
+// of an N-shard server would mint, which is what lets a router aggregate
+// shard processes indistinguishably from in-process shards. Requires a
+// single engine shard (incompatible with WithShards > 1).
+func WithShardIndex(i int) Option {
+	return func(s *Server) {
+		if i >= 0 {
+			s.shardIndex = i
+		}
+	}
+}
+
 // WithQuotas bounds per-tenant consumption (see shard.Quotas); the zero
 // value admits everything. Over-quota requests get 429 with a Retry-After
 // header before any shard does work.
@@ -355,12 +382,16 @@ func Open(opts ...Option) (*Server, error) {
 		workers:          runtime.NumCPU(),
 		queueCap:         64,
 		nshards:          1,
+		shardIndex:       -1,
 		compressWorkers:  runtime.GOMAXPROCS(0),
 		cache:            engine.CacheConfig{Enabled: true},
 		snapshotInterval: time.Minute,
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.shardIndex >= 0 && s.nshards > 1 {
+		return nil, fmt.Errorf("WithShardIndex: a shard process runs one engine shard (got %d)", s.nshards)
 	}
 	if s.reg == nil {
 		s.reg = metrics.NewRegistry()
@@ -386,12 +417,19 @@ func Open(opts ...Option) (*Server, error) {
 	}
 	s.shards = make([]*engineShard, s.nshards)
 	for i := range s.shards {
+		// A shard process (WithShardIndex) mints ids for its external ring
+		// position; in-process shards for their local index. Ids are
+		// unprefixed only in the classic single-process, single-shard shape.
+		id := i
+		if s.shardIndex >= 0 {
+			id = s.shardIndex
+		}
 		prefix := ""
-		if s.nshards > 1 {
-			prefix = fmt.Sprintf("s%d-", i)
+		if s.nshards > 1 || s.shardIndex >= 0 {
+			prefix = fmt.Sprintf("s%d-", id)
 		}
 		sh := &engineShard{
-			id:   i,
+			id:   id,
 			srv:  s,
 			dbs:  map[string]*entry{},
 			jobs: jobs.NewPrefixed(prefix, perWorkers, perQueue),
@@ -407,10 +445,10 @@ func Open(opts ...Option) (*Server, error) {
 		}
 		s.shards[i] = sh
 		i := i
-		s.reg.GaugeFunc(fmt.Sprintf("shard.%d.dbs", i), func() int64 {
+		s.reg.GaugeFunc(fmt.Sprintf("shard.%d.dbs", id), func() int64 {
 			return int64(s.shards[i].dbCount())
 		})
-		s.reg.GaugeFunc(fmt.Sprintf("shard.%d.queue_depth", i), func() int64 {
+		s.reg.GaugeFunc(fmt.Sprintf("shard.%d.queue_depth", id), func() int64 {
 			return int64(s.shards[i].jobs.Depth())
 		})
 	}
@@ -482,6 +520,7 @@ func Open(opts ...Option) (*Server, error) {
 			s.startSweeper()
 		}
 	}
+	s.router = newLocalRouter(s)
 	return s, nil
 }
 
@@ -750,45 +789,20 @@ type route struct {
 	handler http.HandlerFunc
 }
 
-// routes is the complete endpoint table in documentation order.
-func (s *Server) routes() []route {
-	return []route{
-		{"GET /db", s.handleList},
-		{"PUT /db/{id}", s.handlePut},
-		{"GET /db/{id}", s.handleStats},
-		{"DELETE /db/{id}", s.handleDelete},
-		{"POST /db/{id}/mine", s.handleMine},
-		{"GET /db/{id}/patterns", s.handlePatternList},
-		{"GET /db/{id}/patterns/{name}", s.handlePatternGet},
-		{"GET /db/{id}/lattice", s.handleLatticeGet},
-		{"DELETE /db/{id}/lattice", s.handleLatticeDelete},
-		{"GET /jobs", s.handleJobList},
-		{"GET /jobs/{id}", s.handleJobGet},
-		{"DELETE /jobs/{id}", s.handleJobCancel},
-		{"GET /shards", s.handleShards},
-		{"GET /metrics", s.reg.Handler().ServeHTTP},
-	}
-}
-
 // Routes lists every registered "METHOD /pattern" in registration order.
 // README's endpoint table must match it verbatim — a drift test enforces
 // this, like the algorithm table's.
-func (s *Server) Routes() []string {
-	rs := s.routes()
-	out := make([]string, len(rs))
-	for i, r := range rs {
-		out[i] = r.pattern
-	}
-	return out
-}
+func (s *Server) Routes() []string { return s.router.Routes() }
 
-// Handler returns the HTTP handler.
+// Handler returns the HTTP handler: the router over this server's engine
+// shards — or, for a shard process (WithShardIndex), the shard's own
+// surface directly, with no routing layer to traverse: placement already
+// happened in the router process that forwarded here.
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	for _, r := range s.routes() {
-		mux.HandleFunc(r.pattern, r.handler)
+	if s.shardIndex >= 0 {
+		return s.shards[0].handler()
 	}
-	return mux
+	return s.router.Handler()
 }
 
 // serverMetrics bundles the service's named metrics.
@@ -914,6 +928,11 @@ type ShardInfo struct {
 	// present only when the server runs with a data dir.
 	StoreSegments int   `json:"store_segments,omitempty"`
 	StoreBytes    int64 `json:"store_bytes,omitempty"`
+	// Unhealthy marks an ejected or unreachable shard in a multi-process
+	// router's listing; its occupancy fields are unknown (zero). Omitted —
+	// not false — for healthy shards, keeping single-process output
+	// unchanged.
+	Unhealthy bool `json:"unhealthy,omitempty"`
 }
 
 // MineRequest is the body of POST /db/{id}/mine.
@@ -1013,180 +1032,11 @@ func tenantOf(r *http.Request) (string, error) {
 // shardFor returns the engine shard owning the database id.
 func (s *Server) shardFor(id string) *engineShard { return s.shards[s.ring.Owner(id)] }
 
-// get resolves a database id to its shard and entry.
-func (s *Server) get(id string) (*engineShard, *entry, bool) {
-	sh := s.shardFor(id)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	e, ok := sh.dbs[id]
-	return sh, e, ok
-}
-
-// dbCount returns the shard's resident database count.
-func (sh *engineShard) dbCount() int {
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	return len(sh.dbs)
-}
-
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	var infos []DBInfo
-	for _, sh := range s.shards {
-		sh.mu.RLock()
-		ids := make([]string, 0, len(sh.dbs))
-		entries := make([]*entry, 0, len(sh.dbs))
-		for id, e := range sh.dbs {
-			ids = append(ids, id)
-			entries = append(entries, e)
-		}
-		sh.mu.RUnlock()
-		// Per-entry stats are read outside the shard lock: entry locks are
-		// not nested inside shard locks anywhere, and a racing delete just
-		// yields a last-moment snapshot.
-		for i, id := range ids {
-			infos = append(infos, info(id, entries[i]))
-		}
-	}
-	if infos == nil {
-		infos = []DBInfo{}
-	}
-	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
-	writeJSON(w, http.StatusOK, infos)
-}
-
 func info(id string, e *entry) DBInfo {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return DBInfo{ID: id, Tuples: e.stats.NumTx, AvgLen: e.stats.AvgLen,
 		NumItems: e.stats.NumItems, Sets: len(e.sets)}
-}
-
-func (s *Server) handleShards(w http.ResponseWriter, _ *http.Request) {
-	infos := make([]ShardInfo, len(s.shards))
-	for i, sh := range s.shards {
-		infos[i] = ShardInfo{
-			Shard:      sh.id,
-			DBs:        sh.dbCount(),
-			QueueDepth: sh.jobs.Depth(),
-			Running:    sh.jobs.Running(),
-		}
-		if sh.store != nil {
-			infos[i].LatticeRungs = sh.store.Rungs()
-			infos[i].LatticeBytes = sh.store.Bytes()
-		}
-		if sh.disk != nil {
-			st := sh.disk.Stats()
-			infos[i].StoreSegments = st.Segments
-			infos[i].StoreBytes = st.DiskBytes
-		}
-	}
-	writeJSON(w, http.StatusOK, infos)
-}
-
-func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	if !validName(id) {
-		fail(w, http.StatusBadRequest, "bad database id %q", id)
-		return
-	}
-	tenant, err := tenantOf(r)
-	if err != nil {
-		fail(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	db, err := dataset.ReadBasketIDs(http.MaxBytesReader(w, r.Body, s.maxBody))
-	if err != nil {
-		status := http.StatusBadRequest
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			status = http.StatusRequestEntityTooLarge
-		}
-		fail(w, status, "parse: %v", err)
-		return
-	}
-	if db.Len() == 0 {
-		fail(w, http.StatusBadRequest, "empty database")
-		return
-	}
-	sh := s.shardFor(id)
-	var (
-		e       *entry
-		existed bool
-	)
-	for {
-		sh.mu.Lock()
-		e, existed = sh.dbs[id]
-		if !existed {
-			// Admission: a brand-new database consumes one of the tenant's DB
-			// slots; acquire it before the id becomes visible. The governor has
-			// its own lock and never takes shard locks, so the nesting is safe.
-			if err := s.gov.AcquireDB(tenant); err != nil {
-				sh.mu.Unlock()
-				var qe *shard.QuotaError
-				errors.As(err, &qe)
-				s.failQuota(w, qe)
-				return
-			}
-			e = &entry{id: id, sets: map[string]*savedSet{}, owner: tenant}
-			sh.dbs[id] = e
-		}
-		sh.mu.Unlock()
-
-		e.mu.Lock()
-		if !e.deleted {
-			break
-		}
-		// A concurrent DELETE orphaned this entry between the map lookup and
-		// the lock; writing into it would vanish the upload. Retry the
-		// insert — the deleter already removed the id from the map.
-		e.mu.Unlock()
-	}
-	if existed && e.owner != tenant {
-		// Replacing another tenant's database transfers ownership (tenants
-		// are accounting domains, not an authorization boundary): the new
-		// owner needs a free DB slot before the old one's is released.
-		if err := s.gov.AcquireDB(tenant); err != nil {
-			e.mu.Unlock()
-			var qe *shard.QuotaError
-			errors.As(err, &qe)
-			s.failQuota(w, qe)
-			return
-		}
-		s.gov.ReleaseDB(e.owner)
-	}
-	oldOwner, oldBytes := e.owner, setBytes(e.sets)
-	old := e.db
-	e.db, e.stats = db, db.Stats()
-	e.sets = map[string]*savedSet{}
-	e.owner = tenant
-	e.version++
-	e.resident = true
-	e.lastTouch = time.Now()
-	// Quota moves happen under e.mu so a racing delete's refund and this
-	// replacement's debit serialize — each byte is charged and refunded
-	// exactly once in every interleaving.
-	s.gov.AddPatternBytes(oldOwner, -oldBytes)
-	var diskErr error
-	if sh.disk != nil {
-		// Write-through before acknowledging: a PutDB record also resets the
-		// database's persisted sets and rungs, mirroring the wipe above.
-		diskErr = sh.disk.PutDB(id, tenant, db)
-	}
-	e.mu.Unlock()
-	// The replaced database's ladder is unreachable (identity-keyed); drop
-	// it now instead of waiting for LRU aging to reclaim the budget.
-	if sh.store != nil && old != nil {
-		sh.store.Invalidate(old)
-	}
-	if diskErr != nil {
-		fail(w, http.StatusInternalServerError, "persist: %v", diskErr)
-		return
-	}
-	status := http.StatusCreated
-	if existed {
-		status = http.StatusOK
-	}
-	writeJSON(w, status, info(id, e))
 }
 
 // setBytes sums the metered footprint of every saved set; caller holds e.mu.
@@ -1196,57 +1046,6 @@ func setBytes(sets map[string]*savedSet) int64 {
 		n += set.bytes
 	}
 	return n
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	_, e, ok := s.get(id)
-	if !ok {
-		fail(w, http.StatusNotFound, "no database %q", id)
-		return
-	}
-	writeJSON(w, http.StatusOK, info(id, e))
-}
-
-func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	e, ok := sh.dbs[id]
-	delete(sh.dbs, id)
-	sh.mu.Unlock()
-	if !ok {
-		fail(w, http.StatusNotFound, "no database %q", id)
-		return
-	}
-	e.mu.Lock()
-	// deleted marks the entry terminal while a reference may still be live in
-	// a concurrent mine or PUT: a mine's save observes it under e.mu and skips
-	// both the set and its quota charge, so the refund below is exactly-once —
-	// bytes never land on the owner after they were settled here.
-	e.deleted = true
-	e.version++
-	owner, bytes := e.owner, setBytes(e.sets)
-	old := e.db
-	s.gov.ReleaseDB(owner)
-	s.gov.AddPatternBytes(owner, -bytes)
-	var diskErr error
-	if sh.disk != nil {
-		if diskErr = sh.disk.DeleteDB(id); errors.Is(diskErr, store.ErrNotFound) {
-			// The db may never have reached disk (its PUT's write-through
-			// failed); deleting it is still a success.
-			diskErr = nil
-		}
-	}
-	e.mu.Unlock()
-	if sh.store != nil && old != nil {
-		sh.store.Invalidate(old)
-	}
-	if diskErr != nil {
-		fail(w, http.StatusInternalServerError, "persist: %v", diskErr)
-		return
-	}
-	w.WriteHeader(http.StatusNoContent)
 }
 
 // LatticeInfo is the response of GET /db/{id}/lattice: the database's
@@ -1263,121 +1062,6 @@ type LatticeInfo struct {
 	Rungs       []lattice.RungInfo `json:"rungs"`
 }
 
-func (s *Server) handleLatticeGet(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	sh, e, ok := s.get(id)
-	if !ok {
-		fail(w, http.StatusNotFound, "no database %q", id)
-		return
-	}
-	info := LatticeInfo{ID: id, Shard: sh.id, Rungs: []lattice.RungInfo{}}
-	if sh.store != nil {
-		info.Enabled = true
-		info.BudgetBytes = sh.store.Budget()
-		info.StoreBytes = sh.store.Bytes()
-		e.mu.Lock()
-		// A cold stub's ladder lives on disk; hydrating re-installs it into
-		// the memory store so the inspection below sees it.
-		if err := sh.hydrateLocked(e); err != nil {
-			e.mu.Unlock()
-			fail(w, http.StatusInternalServerError, "hydrate: %v", err)
-			return
-		}
-		e.lastTouch = time.Now()
-		db := e.db
-		e.mu.Unlock()
-		if rungs := sh.store.Cache(db).Rungs(); len(rungs) > 0 {
-			info.Rungs = rungs
-		}
-	}
-	writeJSON(w, http.StatusOK, info)
-}
-
-func (s *Server) handleLatticeDelete(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	sh, e, ok := s.get(id)
-	if !ok {
-		fail(w, http.StatusNotFound, "no database %q", id)
-		return
-	}
-	e.mu.Lock()
-	db := e.db
-	var diskErr error
-	if sh.disk != nil && !e.deleted {
-		// Invalidation covers the durable ladder too — otherwise a restart
-		// would resurrect rungs the operator explicitly dropped.
-		diskErr = sh.disk.DropRungs(id)
-	}
-	e.mu.Unlock()
-	if sh.store != nil && db != nil {
-		sh.store.Invalidate(db)
-	}
-	if diskErr != nil && !errors.Is(diskErr, store.ErrNotFound) {
-		fail(w, http.StatusInternalServerError, "persist: %v", diskErr)
-		return
-	}
-	w.WriteHeader(http.StatusNoContent)
-}
-
-func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	sh, e, ok := s.get(id)
-	if !ok {
-		fail(w, http.StatusNotFound, "no database %q", id)
-		return
-	}
-	tenant, err := tenantOf(r)
-	if err != nil {
-		fail(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	var req MineRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		fail(w, http.StatusBadRequest, "bad request body: %v", err)
-		return
-	}
-	e.mu.Lock()
-	numTx := e.stats.NumTx
-	owner := e.owner
-	e.mu.Unlock()
-	min, err := engine.Threshold{Count: req.MinCount, Support: req.MinSupport}.Resolve(numTx)
-	switch {
-	case errors.Is(err, engine.ErrBadMinSupport):
-		fail(w, http.StatusBadRequest, "min_support must be a fraction below 1")
-		return
-	case err != nil:
-		fail(w, http.StatusBadRequest, "need min_count >= 1 or min_support in (0,1)")
-		return
-	}
-	if req.SaveAs != "" {
-		if !validName(req.SaveAs) {
-			fail(w, http.StatusBadRequest, "bad save_as name %q", req.SaveAs)
-			return
-		}
-		// Admission: a request that will save patterns is rejected at the
-		// door once the owning tenant's saved bytes meet their quota —
-		// before any mining happens on their behalf.
-		if err := s.gov.CheckPatternBytes(owner); err != nil {
-			var qe *shard.QuotaError
-			errors.As(err, &qe)
-			s.failQuota(w, qe)
-			return
-		}
-	}
-
-	if r.URL.Query().Get("async") == "1" {
-		s.enqueueMine(w, sh, tenant, e, req, min)
-		return
-	}
-
-	resp, err := sh.mine(r.Context(), e, req, min)
-	if err != nil {
-		s.failMine(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
 // failMine maps a mining error to its status: cancellations and deadline
 // expiries are 503 (the service shed the request), anything else 400.
 func (s *Server) failMine(w http.ResponseWriter, err error) {
@@ -1389,42 +1073,6 @@ func (s *Server) failMine(w http.ResponseWriter, err error) {
 	default:
 		fail(w, http.StatusBadRequest, "%v", err)
 	}
-}
-
-// enqueueMine submits the request to the owning shard's async worker pool,
-// charging the submitting tenant's job quota for the job's whole queued-or-
-// running lifetime.
-func (s *Server) enqueueMine(w http.ResponseWriter, sh *engineShard, tenant string, e *entry, req MineRequest, min int) {
-	if err := s.gov.AcquireJob(tenant); err != nil {
-		var qe *shard.QuotaError
-		errors.As(err, &qe)
-		s.failQuota(w, qe)
-		return
-	}
-	job, err := sh.jobs.Submit(func(ctx context.Context) (any, error) {
-		return sh.mine(ctx, e, req, min)
-	})
-	if err != nil {
-		s.gov.ReleaseJob(tenant)
-		s.met.rejected.Inc()
-		code, status := "queue_full", http.StatusTooManyRequests
-		if errors.Is(err, jobs.ErrShutdown) {
-			code, status = "shutting_down", http.StatusServiceUnavailable
-		}
-		if status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
-		}
-		failCode(w, status, code, "%v", err)
-		return
-	}
-	// The slot frees when the job reaches a terminal state — including a
-	// cancel while still queued, which never runs the job's function.
-	go func() {
-		<-job.Done()
-		s.gov.ReleaseJob(tenant)
-	}()
-	s.met.submitted.Inc()
-	writeJSON(w, http.StatusAccepted, job.Snapshot())
 }
 
 // minePlan is the input snapshot one mining run works from, taken under the
@@ -1626,105 +1274,12 @@ func bestSet(sets map[string]*savedSet) (string, *savedSet) {
 	return bestName, best
 }
 
-func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
-	var list []jobs.Snapshot
-	for _, sh := range s.shards {
-		list = append(list, sh.jobs.List()...)
-	}
-	if list == nil {
-		list = []jobs.Snapshot{}
-	}
-	sort.Slice(list, func(i, j int) bool { return list[i].Created.Before(list[j].Created) })
-	writeJSON(w, http.StatusOK, list)
-}
-
-// findJob locates a job id across the shards' pools. Ids are unique (each
-// pool mints a distinct prefix), so a linear probe over N managers — each a
-// map lookup — suffices.
-func (s *Server) findJob(id string) (*engineShard, *jobs.Job, bool) {
-	for _, sh := range s.shards {
-		if j, ok := sh.jobs.Get(id); ok {
-			return sh, j, true
-		}
-	}
-	return nil, nil, false
-}
-
-func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	_, j, ok := s.findJob(id)
-	if !ok {
-		fail(w, http.StatusNotFound, "no job %q", id)
-		return
-	}
-	writeJSON(w, http.StatusOK, j.Snapshot())
-}
-
-func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	// Hold the *Job before cancelling: a concurrent Submit may evict the
-	// now-terminal job from its manager, making a later Get return nil.
-	sh, j, ok := s.findJob(id)
-	if !ok || !sh.jobs.Cancel(id) {
-		fail(w, http.StatusNotFound, "no job %q", id)
-		return
-	}
-	s.met.killed.Inc()
-	writeJSON(w, http.StatusOK, j.Snapshot())
-}
-
 // SetInfo describes one saved pattern set.
 type SetInfo struct {
 	Name     string    `json:"name"`
 	Count    int       `json:"count"`
 	MinCount int       `json:"min_count"`
 	Saved    time.Time `json:"saved"`
-}
-
-func (s *Server) handlePatternList(w http.ResponseWriter, r *http.Request) {
-	_, e, ok := s.get(r.PathValue("id"))
-	if !ok {
-		fail(w, http.StatusNotFound, "no database %q", r.PathValue("id"))
-		return
-	}
-	e.mu.Lock()
-	infos := make([]SetInfo, 0, len(e.sets))
-	for name, set := range e.sets {
-		// count, not len(patterns): a spilled set's patterns are nil but its
-		// metadata answers listings without touching disk.
-		infos = append(infos, SetInfo{Name: name, Count: set.count,
-			MinCount: set.minCount, Saved: set.saved})
-	}
-	e.mu.Unlock()
-	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
-	writeJSON(w, http.StatusOK, infos)
-}
-
-func (s *Server) handlePatternGet(w http.ResponseWriter, r *http.Request) {
-	sh, e, ok := s.get(r.PathValue("id"))
-	if !ok {
-		fail(w, http.StatusNotFound, "no database %q", r.PathValue("id"))
-		return
-	}
-	name := r.PathValue("name")
-	e.mu.Lock()
-	if err := sh.hydrateLocked(e); err != nil {
-		e.mu.Unlock()
-		fail(w, http.StatusInternalServerError, "hydrate: %v", err)
-		return
-	}
-	e.lastTouch = time.Now()
-	set, ok := e.sets[name]
-	e.mu.Unlock()
-	if !ok {
-		fail(w, http.StatusNotFound, "no saved pattern set %q", name)
-		return
-	}
-	out := make([]MinePattern, len(set.patterns))
-	for i, p := range set.patterns {
-		out[i] = MinePattern{Items: p.Items, Support: p.Support}
-	}
-	writeJSON(w, http.StatusOK, out)
 }
 
 // validName restricts ids to path-safe tokens.

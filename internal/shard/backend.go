@@ -1,0 +1,43 @@
+package shard
+
+import (
+	"context"
+	"net/http"
+)
+
+// Backend is the transport seam between the request router and one engine
+// shard. The router owns *where* a request goes (the consistent-hash Ring)
+// and *whether* the shard is reachable (health probes, drain barriers); a
+// Backend owns carrying the request there. Everything behind the seam — db
+// CRUD, mining, jobs, lattice inspection, metrics — is expressed as the
+// shard's own HTTP surface, which is what makes the two implementations
+// interchangeable: an in-process engine shard served through a direct
+// handler call, and a separate shard process reached over real HTTP. The
+// deployment shape is configuration, not code.
+//
+// Implementations must preserve the shard's response byte-for-byte: status
+// code, headers (Retry-After on quota 429s in particular), and body. The
+// router never rewrites a shard response — a remote 429 is indistinguishable
+// from a local one.
+type Backend interface {
+	// Serve carries one already-routed request to the shard and writes the
+	// shard's response — status, headers, body — unchanged to w. A non-nil
+	// error means the shard could not be reached and nothing was written,
+	// so the caller still owns the response (and typically answers 503).
+	Serve(w http.ResponseWriter, r *http.Request) error
+
+	// Fetch GETs path on the shard and JSON-decodes the response body into
+	// v (nil discards the body — used by health probes). A non-2xx status
+	// is an error: Fetch is the router's structured side channel for
+	// aggregation (GET /db, /jobs, /shards) and /healthz probing, where
+	// anything but success means "leave this shard out".
+	Fetch(ctx context.Context, path string, v any) error
+
+	// Addr identifies the backend for logs, errors and introspection —
+	// "local[2]" for an in-process shard, the base URL for a remote one.
+	Addr() string
+
+	// Close releases client resources. The router closes a backend only
+	// after its in-flight requests drained.
+	Close() error
+}
